@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Scale knobs (overridable via environment variables so the full
+paper-scale run is one command):
+
+* ``POWERLENS_BENCH_NETWORKS`` — synthetic training corpus size per
+  platform (default 300; paper: 8000).
+* ``POWERLENS_BENCH_RUNS``     — randomized runs per EE test
+  (default 10; paper: 50).
+* ``POWERLENS_BENCH_TASKS``    — task-flow length (default 30;
+  paper: 100).
+
+Fitted contexts are session-cached, so the two platform fits happen once
+for the whole benchmark session regardless of how many tables request
+them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import get_context
+
+BENCH_NETWORKS = int(os.environ.get("POWERLENS_BENCH_NETWORKS", "300"))
+BENCH_RUNS = int(os.environ.get("POWERLENS_BENCH_RUNS", "10"))
+BENCH_TASKS = int(os.environ.get("POWERLENS_BENCH_TASKS", "30"))
+
+
+@pytest.fixture(scope="session")
+def tx2_context():
+    return get_context("tx2", n_networks=BENCH_NETWORKS)
+
+
+@pytest.fixture(scope="session")
+def agx_context():
+    return get_context("agx", n_networks=BENCH_NETWORKS)

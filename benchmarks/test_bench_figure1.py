@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 1 (the two DVFS methods' behaviour).
+
+The illustration contrasts the reactive governor's lag and ping-pong
+with PowerLens's preset per-block trace; we regenerate it as level
+timelines with switch/reversal statistics and terminal sparklines.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_tx2(benchmark, tx2_context):
+    result = benchmark.pedantic(
+        lambda: run_figure1("tx2", model="resnet152", n_batches=4,
+                            context=tx2_context),
+        rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    bim = next(t for t in result.traces if t.method == "bim")
+    pl = next(t for t in result.traces if t.method == "powerlens")
+    # (A) the reactive governor ping-pongs between ladder ends...
+    assert bim.reversal_count >= 2
+    levels_seen = {lvl for _t0, _t1, lvl in bim.timeline}
+    assert 0 in levels_seen
+    assert max(levels_seen) == tx2_context.platform.max_level
+    # ...(B) while PowerLens executes its preset plan with bounded
+    # switching and lower energy.
+    assert pl.energy_j < bim.energy_j
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_agx(benchmark, agx_context):
+    result = benchmark.pedantic(
+        lambda: run_figure1("agx", model="vgg19", n_batches=4,
+                            context=agx_context),
+        rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    pl = next(t for t in result.traces if t.method == "powerlens")
+    bim = next(t for t in result.traces if t.method == "bim")
+    assert pl.energy_j < bim.energy_j

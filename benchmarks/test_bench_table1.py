@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Table 1 (energy-efficiency improvement).
+
+Prints the paper-layout table for each platform and asserts the headline
+shapes: positive average gains over every baseline, the ordering
+BiM-gain > FPG-G-gain > FPG-CG-gain, and larger AGX gains than TX2
+gains over the built-in governor.
+
+Paper reference averages — TX2: BiM +57.85%, FPG-G +18.39%,
+FPG-CG +13.53%; AGX: BiM +119.42%, FPG-G +27.31%, FPG-CG +15.97%.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments.table1 import run_table1
+
+_RESULTS = {}
+
+
+def _table1(context, platform):
+    if platform not in _RESULTS:
+        _RESULTS[platform] = run_table1(platform, n_runs=BENCH_RUNS,
+                                        context=context)
+    return _RESULTS[platform]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_tx2(benchmark, tx2_context):
+    result = benchmark.pedantic(
+        lambda: _table1(tx2_context, "tx2"), rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    assert result.average_gain("bim") > 0.30
+    assert result.average_gain("fpg_g") > 0.05
+    assert result.average_gain("fpg_cg") > 0.0
+    assert result.average_gain("bim") > result.average_gain("fpg_g")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_agx(benchmark, agx_context):
+    result = benchmark.pedantic(
+        lambda: _table1(agx_context, "agx"), rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    assert result.average_gain("bim") > 0.60
+    assert result.average_gain("fpg_g") > 0.05
+    assert result.average_gain("bim") > result.average_gain("fpg_g") \
+        > result.average_gain("fpg_cg")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_agx_gains_exceed_tx2(benchmark, tx2_context, agx_context):
+    """Observation from the paper: the AGX's wider, steeper V/f range
+    makes its BiM-relative gains roughly twice the TX2's."""
+    def both():
+        return (_table1(tx2_context, "tx2"), _table1(agx_context, "agx"))
+    tx2_res, agx_res = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert agx_res.average_gain("bim") > tx2_res.average_gain("bim")

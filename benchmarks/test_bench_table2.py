@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Table 2 (clustering ablation).
+
+P-R (random block partitioning) and P-N (no clustering) versus full
+PowerLens.  Paper averages — TX2: P-R -42.60%, P-N -15.17%;
+AGX: P-R -55.99%, P-N -18.28%.  Our simulator compresses the P-N
+magnitude (see EXPERIMENTS.md) but preserves the ordering:
+P-R loses clearly more than P-N, and both lose to PowerLens.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments.table2 import run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_tx2(benchmark, tx2_context):
+    result = benchmark.pedantic(
+        lambda: run_table2("tx2", n_runs=BENCH_RUNS, context=tx2_context),
+        rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    assert result.average("pr") < 0.0
+    assert result.average("pr") < result.average("pn")
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_agx(benchmark, agx_context):
+    result = benchmark.pedantic(
+        lambda: run_table2("agx", n_runs=BENCH_RUNS, context=agx_context),
+        rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    assert result.average("pr") < 0.0
+    assert result.average("pr") < result.average("pn")

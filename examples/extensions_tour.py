@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Tour of the future-work extensions (paper section 5).
+
+1. **CPU DVFS** — PowerLens-C+G plans the host cluster's frequency for
+   the preprocessing phases alongside the GPU power blocks.
+2. **Batch-size co-optimization** — pick the (batch, frequency) pair
+   with the best energy per image under a latency cap.
+3. **Thermal awareness** — on a thermally constrained board the
+   built-in governor hits the throttle point; PowerLens's lower preset
+   frequencies keep the die cool and the throttle disengaged.
+4. **Platform calibration** — recover a board's power coefficients from
+   measured samples (the road from simulator to silicon).
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro.core import PowerLens, PowerLensConfig
+from repro.extensions import best_batch_size, fit_power_model
+from repro.extensions.calibrate import synthesize_samples
+from repro.extensions.cpu_dvfs import powerlens_cg_governor
+from repro.governors import StaticGovernor
+from repro.hw import InferenceJob, InferenceSimulator, jetson_tx2
+from repro.hw.thermal import ThermalConfig
+from repro.models import build_model
+
+
+def main() -> None:
+    platform = jetson_tx2()
+    graph = build_model("resnet34")
+
+    print("fitting PowerLens ...")
+    lens = PowerLens(platform, PowerLensConfig(n_networks=40, seed=0))
+    lens.fit()
+
+    # ------------------------------------------------------------------
+    # 1. CPU DVFS (PowerLens-C+G)
+    # ------------------------------------------------------------------
+    cpu_work = 2.4e8
+    job = InferenceJob(graph=graph, batch_size=16, n_batches=6,
+                       cpu_work_per_image=cpu_work)
+    plain = lens.governor([graph])
+    cg = powerlens_cg_governor(lens, [graph], cpu_work_per_image=cpu_work)
+    r_plain = InferenceSimulator(platform, keep_trace=False).run(
+        [job], plain)
+    r_cg = InferenceSimulator(platform, keep_trace=False).run([job], cg)
+    print("\n1. CPU DVFS extension")
+    print(f"   PowerLens      EE {r_plain.report.energy_efficiency:.4f} "
+          f"(cpu energy {r_plain.trace.cpu_energy:.1f} J)")
+    print(f"   PowerLens-C+G  EE {r_cg.report.energy_efficiency:.4f} "
+          f"(cpu energy {r_cg.trace.cpu_energy:.1f} J)")
+
+    # ------------------------------------------------------------------
+    # 2. Batch-size co-optimization
+    # ------------------------------------------------------------------
+    print("\n2. Batch-size co-optimization (latency cap 1.0 s/batch)")
+    choice = best_batch_size(platform, graph, max_batch_latency=1.0)
+    print(f"   best batch {choice.batch_size} at level {choice.level}: "
+          f"{choice.energy_per_image * 1000:.1f} mJ/image, "
+          f"{choice.latency_per_image * 1000:.2f} ms/image")
+
+    # ------------------------------------------------------------------
+    # 3. Thermal awareness
+    # ------------------------------------------------------------------
+    print("\n3. Thermal behaviour on a passively cooled variant")
+    thermal = ThermalConfig(r_th=6.0, c_th=0.6, t_throttle=62.0,
+                            t_release=54.0, throttle_level=3)
+    hot_job = InferenceJob(graph=graph, batch_size=16, n_batches=8,
+                           cpu_work_per_image=0.0)
+    r_max = InferenceSimulator(platform, thermal=thermal,
+                               keep_trace=False).run(
+        [hot_job], StaticGovernor())
+    r_pl = InferenceSimulator(platform, thermal=thermal,
+                              keep_trace=False).run(
+        [hot_job], lens.governor([graph]))
+    print(f"   max frequency: peak {r_max.peak_temperature:.1f} C, "
+          f"throttled {r_max.throttle_time:.2f} s")
+    print(f"   PowerLens:     peak {r_pl.peak_temperature:.1f} C, "
+          f"throttled {r_pl.throttle_time:.2f} s")
+
+    # ------------------------------------------------------------------
+    # 4. Platform calibration
+    # ------------------------------------------------------------------
+    print("\n4. Power-model calibration from measured samples")
+    samples = synthesize_samples(platform, n=120, noise_w=0.15, seed=2)
+    fit = fit_power_model(platform, samples)
+    print(f"   leakage  {fit.leak_w_per_v:.3f} W/V "
+          f"(truth {platform.leak_w_per_v:.3f})")
+    print(f"   c_eff    {fit.c_eff:.2e} (truth {platform.c_eff:.2e})")
+    print(f"   stall    {fit.stall_power_fraction:.3f} "
+          f"(truth {platform.stall_power_fraction:.3f})")
+    print(f"   rms err  {fit.rms_error_w:.3f} W over {len(samples)} "
+          f"samples")
+
+
+if __name__ == "__main__":
+    main()

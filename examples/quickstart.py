@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: train PowerLens for a platform and analyze one network.
+
+Walks the full Figure-2 workflow on a simulated Jetson TX2:
+
+1. fit the framework (dataset generation + both prediction models),
+2. analyze ResNet-152 into a power view with per-block target levels,
+3. execute the plan on the platform simulator against the built-in
+   ondemand governor and compare energy efficiency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PowerLens, PowerLensConfig
+from repro.governors import OndemandGovernor
+from repro.hw import InferenceJob, InferenceSimulator, jetson_tx2
+from repro.models import build_model
+
+
+def main() -> None:
+    platform = jetson_tx2()
+    print(f"platform: {platform.name} "
+          f"({platform.n_levels} GPU levels, "
+          f"{platform.f_min / 1e6:.0f}-{platform.f_max / 1e6:.0f} MHz)")
+
+    # ------------------------------------------------------------------
+    # 1. Offline training (scaled-down corpus; the paper uses 8000).
+    # ------------------------------------------------------------------
+    lens = PowerLens(platform, PowerLensConfig(n_networks=60, seed=0))
+    print("\nfitting PowerLens (dataset generation + model training)...")
+    summary = lens.fit()
+    print(summary.format())
+
+    # ------------------------------------------------------------------
+    # 2. Analyze a network into a power view + frequency plan.
+    # ------------------------------------------------------------------
+    graph = build_model("resnet152")
+    plan = lens.analyze(graph)
+    print(f"\n{plan.summary()}")
+
+    # ------------------------------------------------------------------
+    # 3. Execute against the built-in governor.
+    # ------------------------------------------------------------------
+    job = InferenceJob(graph=graph, batch_size=16, n_batches=10)
+    governor = lens.governor([graph])
+
+    sim = InferenceSimulator(platform, keep_trace=False)
+    powerlens_run = sim.run([job], governor)
+    sim = InferenceSimulator(platform, keep_trace=False)
+    bim_run = sim.run([job], OndemandGovernor())
+
+    ee_pl = powerlens_run.report.energy_efficiency
+    ee_bim = bim_run.report.energy_efficiency
+    print(f"\nenergy efficiency (images/J):")
+    print(f"  built-in governor (BiM): {ee_bim:8.4f}  "
+          f"({bim_run.report.total_energy:7.1f} J, "
+          f"{bim_run.report.total_time:6.2f} s)")
+    print(f"  PowerLens:               {ee_pl:8.4f}  "
+          f"({powerlens_run.report.total_energy:7.1f} J, "
+          f"{powerlens_run.report.total_time:6.2f} s)")
+    print(f"  improvement:             {100 * (ee_pl / ee_bim - 1):+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

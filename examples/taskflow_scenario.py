@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Task-flow scenario (the Figure-5 workload at example scale).
+
+Assembles a random flow of inference tasks from the Table-1 model suite
+and runs it under all four methods — BiM (ondemand), FPG-G, FPG-C+G and
+PowerLens — reporting total energy, time and energy efficiency, plus the
+frequency ping-pong statistics that motivate the paper's Figure 1.
+
+Run:  python examples/taskflow_scenario.py
+"""
+
+from repro.core import PowerLens, PowerLensConfig
+from repro.governors import OndemandGovernor, fpg_cg, fpg_g
+from repro.hw import InferenceSimulator, jetson_agx_xavier
+from repro.models import build_model
+from repro.workloads import TaskFlowConfig, make_taskflow
+
+
+def main() -> None:
+    platform = jetson_agx_xavier()
+    config = TaskFlowConfig(
+        n_tasks=12,
+        images_per_task=50,
+        batch_size=10,
+        model_names=("alexnet", "resnet34", "resnet152", "vgg19",
+                     "vit_base_32"),
+        seed=1,
+    )
+    graphs = {name: build_model(name) for name in config.model_names}
+    jobs = make_taskflow(config, graphs=graphs)
+    images = sum(job.images for job in jobs)
+    print(f"task flow: {config.n_tasks} tasks, {images} images, "
+          f"models={list(config.model_names)}")
+
+    print("\nfitting PowerLens for", platform.name, "...")
+    lens = PowerLens(platform, PowerLensConfig(n_networks=60, seed=0))
+    lens.fit()
+    powerlens = lens.governor(list(graphs.values()))
+
+    print(f"\n{'method':<12s} {'energy(J)':>10s} {'time(s)':>9s} "
+          f"{'EE(img/J)':>10s} {'switches':>9s} {'reversals':>10s}")
+    baseline_ee = None
+    for governor in (OndemandGovernor(), fpg_g(), fpg_cg(), powerlens):
+        sim = InferenceSimulator(platform, noise_std=0.02,
+                                 keep_trace=False, keep_samples=False)
+        run = sim.run(jobs, governor)
+        r = run.report
+        if baseline_ee is None:
+            baseline_ee = r.energy_efficiency
+        rel = 100 * (r.energy_efficiency / baseline_ee - 1)
+        print(f"{governor.name:<12s} {r.total_energy:>10.1f} "
+              f"{r.total_time:>9.2f} {r.energy_efficiency:>10.4f} "
+              f"{run.switch_count:>9d} {run.reversal_count:>10d}"
+              f"   ({rel:+.1f}% EE vs BiM)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+``pip install -e .`` uses pyproject.toml (PEP 660); this file exists so
+environments without the ``wheel`` package can still do an editable
+install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""PowerLens (DAC 2024) reproduction.
+
+An adaptive DVFS framework for optimizing energy efficiency in deep
+neural networks, together with the full simulated substrate it runs on:
+a DNN graph IR and model zoo, a Jetson-class platform simulator,
+baseline governors, and a numpy neural-network framework for the two
+prediction models.
+
+Typical entry points::
+
+    from repro.core import PowerLens, PowerLensConfig
+    from repro.hw import jetson_tx2, InferenceSimulator, InferenceJob
+    from repro.models import build_model
+
+See README.md for the quickstart, DESIGN.md for the architecture and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,39 @@
+"""Analysis tooling over the simulator and the PowerLens IR.
+
+* :mod:`~repro.analysis.roofline` — per-operator boundness reports and
+  roofline crossover frequencies (why each block wants the level it
+  gets).
+* :mod:`~repro.analysis.curves` — EE / power / time versus frequency
+  level for whole graphs and blocks, with terminal-friendly rendering.
+* :mod:`~repro.analysis.pingpong` — trace diagnostics: level residency,
+  reversal rates and reactive-lag events (the quantitative version of
+  Figure 1's criticism).
+"""
+
+from repro.analysis.roofline import (
+    OpBoundness,
+    RooflineReport,
+    roofline_report,
+)
+from repro.analysis.curves import (
+    LevelCurve,
+    level_curve,
+    render_curve,
+)
+from repro.analysis.pingpong import (
+    LagEvent,
+    PingPongReport,
+    analyze_trace,
+)
+
+__all__ = [
+    "OpBoundness",
+    "RooflineReport",
+    "roofline_report",
+    "LevelCurve",
+    "level_curve",
+    "render_curve",
+    "LagEvent",
+    "PingPongReport",
+    "analyze_trace",
+]

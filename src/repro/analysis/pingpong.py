@@ -1,0 +1,114 @@
+"""Trace diagnostics: ping-pong and reactive-lag quantification.
+
+Figure 1(A)'s criticism of history-driven governors, measured: how often
+the frequency reverses direction, how long the GPU runs below the level
+it eventually settles at after each burst begins (*lag*), and where the
+time goes level-by-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hw.telemetry import KIND_GPU_OP, Trace
+
+
+@dataclass(frozen=True)
+class LagEvent:
+    """One burst start where the governor was still below its eventual
+    in-burst level."""
+
+    t_start: float
+    lag_s: float
+    start_level: int
+    settled_level: int
+
+
+@dataclass
+class PingPongReport:
+    """Quantified Figure-1 pathologies for one trace."""
+
+    switch_count: int
+    reversal_count: int
+    total_time: float
+    level_residency: List[float] = field(default_factory=list)
+    lag_events: List[LagEvent] = field(default_factory=list)
+
+    @property
+    def reversal_rate_hz(self) -> float:
+        if self.total_time <= 0:
+            return 0.0
+        return self.reversal_count / self.total_time
+
+    @property
+    def total_lag_s(self) -> float:
+        return sum(e.lag_s for e in self.lag_events)
+
+    def format_table(self) -> str:
+        lines = [
+            f"switches {self.switch_count}, reversals "
+            f"{self.reversal_count} "
+            f"({self.reversal_rate_hz:.2f}/s)",
+            f"lag: {len(self.lag_events)} events, "
+            f"{self.total_lag_s * 1000:.0f} ms total",
+        ]
+        busiest = sorted(enumerate(self.level_residency),
+                         key=lambda kv: -kv[1])[:3]
+        lines.append("top residency: " + ", ".join(
+            f"L{lvl} {share:.0%}" for lvl, share in busiest if share > 0))
+        return "\n".join(lines)
+
+
+def analyze_trace(trace: Trace, n_levels: int,
+                  switch_count: int = 0,
+                  reversal_count: int = 0) -> PingPongReport:
+    """Build the report from a kept trace.
+
+    Lag detection: for every maximal run of GPU-busy segments (a burst),
+    the settled level is the level in force for the longest time within
+    the burst; the lag is the time spent below it before first reaching
+    it.
+    """
+    report = PingPongReport(
+        switch_count=switch_count,
+        reversal_count=reversal_count,
+        total_time=trace.total_time,
+        level_residency=trace.level_residency(n_levels),
+    )
+    # Split into bursts of consecutive GPU activity.  Switch stalls are
+    # part of the burst (they happen *because* the governor reacts
+    # mid-burst); only CPU/idle phases end one.
+    bursts: List[List] = []
+    current: List = []
+    for seg in trace.segments:
+        if seg.kind == KIND_GPU_OP:
+            current.append(seg)
+        elif seg.kind == "switch" and current:
+            continue
+        else:
+            if current:
+                bursts.append(current)
+                current = []
+    if current:
+        bursts.append(current)
+
+    for burst in bursts:
+        residency: dict = {}
+        for seg in burst:
+            residency[seg.gpu_level] = residency.get(seg.gpu_level, 0.0) \
+                + seg.duration
+        settled = max(residency, key=residency.get)
+        lag = 0.0
+        for seg in burst:
+            if seg.gpu_level >= settled:
+                break
+            lag += seg.duration
+        if lag > 0:
+            report.lag_events.append(LagEvent(
+                t_start=burst[0].t_start,
+                lag_s=lag,
+                start_level=burst[0].gpu_level,
+                settled_level=settled,
+            ))
+    return report

@@ -1,0 +1,133 @@
+"""Command-line interface: ``powerlens <command>``.
+
+Commands map one-to-one onto the experiment drivers so every table and
+figure of the paper can be regenerated from a shell::
+
+    powerlens table1 --platform tx2 --runs 10
+    powerlens table2 --platform agx
+    powerlens table3 --platform tx2
+    powerlens figure1 --model resnet152
+    powerlens figure5 --tasks 20
+    powerlens accuracy --networks 400
+    powerlens analyze --model vgg19 --platform tx2
+    powerlens models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_platform(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", default="tx2",
+                        choices=["tx2", "agx"],
+                        help="hardware preset (default: tx2)")
+
+
+def _add_networks(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--networks", type=int, default=300,
+                        help="synthetic training corpus size "
+                             "(paper: 8000; default: 300)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="powerlens",
+        description="PowerLens (DAC 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="energy-efficiency improvement "
+                                      "per model (Table 1)")
+    _add_platform(p)
+    _add_networks(p)
+    p.add_argument("--runs", type=int, default=10,
+                   help="randomized runs per EE test (paper: 50)")
+    p.add_argument("--models", nargs="*", default=None)
+
+    p = sub.add_parser("table2", help="clustering ablation (Table 2)")
+    _add_platform(p)
+    _add_networks(p)
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--models", nargs="*", default=None)
+
+    p = sub.add_parser("table3", help="offline overhead (Table 3)")
+    _add_platform(p)
+    _add_networks(p)
+
+    p = sub.add_parser("figure1", help="ping-pong/lag trace (Figure 1)")
+    _add_platform(p)
+    _add_networks(p)
+    p.add_argument("--model", default="resnet152")
+
+    p = sub.add_parser("figure5", help="task-flow processing (Figure 5)")
+    _add_platform(p)
+    _add_networks(p)
+    p.add_argument("--tasks", type=int, default=100)
+
+    p = sub.add_parser("accuracy", help="prediction-model accuracy "
+                                        "(section 2.2)")
+    _add_platform(p)
+    _add_networks(p)
+
+    p = sub.add_parser("analyze", help="show the power view and plan "
+                                       "for one model")
+    _add_platform(p)
+    _add_networks(p)
+    p.add_argument("--model", default="resnet152")
+
+    sub.add_parser("models", help="list available model names")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "models":
+        from repro.models import list_models
+        print("\n".join(list_models()))
+        return 0
+
+    # Everything else needs a fitted context.
+    from repro.experiments.common import get_context
+
+    if args.command == "accuracy":
+        from repro.experiments import run_accuracy
+        result = run_accuracy(args.platform, n_networks=args.networks)
+        print(result.format_table())
+        return 0
+
+    ctx = get_context(args.platform, n_networks=args.networks)
+
+    if args.command == "table1":
+        from repro.experiments import run_table1
+        result = run_table1(args.platform, models=args.models,
+                            n_runs=args.runs, context=ctx)
+    elif args.command == "table2":
+        from repro.experiments import run_table2
+        result = run_table2(args.platform, models=args.models,
+                            n_runs=args.runs, context=ctx)
+    elif args.command == "table3":
+        from repro.experiments import run_table3
+        result = run_table3(args.platform, context=ctx)
+    elif args.command == "figure1":
+        from repro.experiments import run_figure1
+        result = run_figure1(args.platform, model=args.model, context=ctx)
+    elif args.command == "figure5":
+        from repro.experiments import run_figure5
+        result = run_figure5(args.platform, n_tasks=args.tasks,
+                             context=ctx)
+    elif args.command == "analyze":
+        plan = ctx.lens.analyze(ctx.graph(args.model))
+        print(plan.summary())
+        return 0
+    else:  # pragma: no cover - argparse guards this
+        return 2
+    print(result.format_table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,297 @@
+"""Power-sensitive feature extraction (section 2.1.2 of the paper).
+
+Two complementary extractors:
+
+* :class:`DepthwiseFeatureExtractor` — fine-grained per-layer features:
+  computational load, parameter count, memory-access volume, operator
+  category, channel counts, feature-map dimensions, plus the deeper
+  attributes of power-dominant operators (convolution kernel/stride/
+  filters, attention heads and matrix dimensions).
+* :class:`GlobalFeatureExtractor` — coarse features of a whole network
+  or of one power block, split into the two groups the Figure-3 model
+  consumes at different stages: *macro structural* features (layer
+  counts, depth, types, residual/branching structure) and *statistics*
+  features (aggregate FLOPs/params/memory, per-category proportions,
+  intensity statistics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import Graph, node_metrics
+from repro.graph.graph import Node
+from repro.graph.ops import (
+    CATEGORY_ORDER,
+    AttentionAttrs,
+    ConvAttrs,
+    OpCategory,
+    OpType,
+)
+
+_N_CATEGORIES = len(CATEGORY_ORDER)
+_CAT_INDEX = {c: i for i, c in enumerate(CATEGORY_ORDER)}
+
+#: Ordered names of the depthwise feature vector columns.
+DEPTHWISE_FEATURE_NAMES: List[str] = [
+    "log_flops",
+    "log_params",
+    "log_mem_elements",
+    "log_in_elements",
+    "log_out_elements",
+    "log_intensity",
+    *[f"cat_{c.value}" for c in CATEGORY_ORDER],
+    "log_in_channels",
+    "log_out_channels",
+    "log_spatial",
+    "kernel_area",
+    "stride_product",
+    "log_groups",
+    "attention_heads",
+    "is_residual_merge",
+    "fan_out",
+]
+
+
+def _log1p(x: float) -> float:
+    return math.log1p(max(x, 0.0))
+
+
+class DepthwiseFeatureExtractor:
+    """Per-operator feature vectors over the canonical compute order."""
+
+    @property
+    def n_features(self) -> int:
+        return len(DEPTHWISE_FEATURE_NAMES)
+
+    def extract_node(self, graph: Graph, node: Node) -> np.ndarray:
+        """Feature vector of a single compute node."""
+        m = node_metrics(graph, node)
+        cat_onehot = np.zeros(_N_CATEGORIES)
+        cat_onehot[_CAT_INDEX[node.category]] = 1.0
+
+        in_shape = graph[node.inputs[0]].output_shape if node.inputs else ()
+        out_shape = node.output_shape
+        in_channels = float(in_shape[0]) if in_shape else 0.0
+        out_channels = float(out_shape[0]) if out_shape else 0.0
+        spatial = float(out_shape[1]) if len(out_shape) >= 2 else 0.0
+
+        kernel_area = 0.0
+        stride_product = 1.0
+        groups = 1.0
+        if isinstance(node.attrs, ConvAttrs):
+            kernel_area = float(node.attrs.kernel[0] * node.attrs.kernel[1])
+            stride_product = float(node.attrs.stride[0]
+                                   * node.attrs.stride[1])
+            groups = float(node.attrs.groups)
+        heads = 0.0
+        if isinstance(node.attrs, AttentionAttrs):
+            heads = float(node.attrs.num_heads)
+        is_merge = 1.0 if (node.op is OpType.ADD
+                           and len(node.inputs) > 1) else 0.0
+        fan_out = float(len(graph.consumers(node.name)))
+
+        return np.array([
+            _log1p(m.flops),
+            _log1p(m.params),
+            _log1p(m.mem_elements),
+            _log1p(m.in_elements),
+            _log1p(m.out_elements),
+            _log1p(m.arithmetic_intensity),
+            *cat_onehot,
+            _log1p(in_channels),
+            _log1p(out_channels),
+            _log1p(spatial),
+            kernel_area,
+            stride_product,
+            _log1p(groups),
+            heads,
+            is_merge,
+            fan_out,
+        ])
+
+    def extract(self, graph: Graph) -> np.ndarray:
+        """(n_ops, n_features) matrix over compute nodes in canonical
+        order — the ``X`` of Algorithm 1."""
+        rows = [self.extract_node(graph, n) for n in graph.compute_nodes()]
+        if not rows:
+            return np.zeros((0, self.n_features))
+        return np.vstack(rows)
+
+    def extract_scaled(self, graph: Graph) -> np.ndarray:
+        """Column-standardized features (Algorithm 1 takes *scaled*
+        deepwise features; constant columns become zero)."""
+        x = self.extract(graph)
+        if x.shape[0] == 0:
+            return x
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1.0
+        return (x - mean) / std
+
+
+@dataclass(frozen=True)
+class GlobalFeatures:
+    """Global feature record of a network or a block.
+
+    ``structural`` and ``statistics`` are kept separate because the
+    hyper-parameter prediction model injects them at different stages
+    (Figure 3); ``vector`` is their concatenation for single-input
+    consumers such as the decision model.
+    """
+
+    structural: np.ndarray
+    statistics: np.ndarray
+
+    @property
+    def vector(self) -> np.ndarray:
+        return np.concatenate([self.structural, self.statistics])
+
+
+#: Names of the structural feature slots.
+STRUCTURAL_FEATURE_NAMES: List[str] = [
+    "log_n_layers",
+    "log_depth",
+    "n_branch_points_frac",
+    "n_merge_points_frac",
+    "n_residual_frac",
+    *[f"count_frac_{c.value}" for c in CATEGORY_ORDER],
+    "has_attention",
+    "has_dwconv",
+    "has_concat_topology",
+]
+
+#: Names of the statistics feature slots.
+STATISTICS_FEATURE_NAMES: List[str] = [
+    "log_total_flops",
+    "log_total_params",
+    "log_total_mem",
+    "log_mean_flops",
+    "std_log_flops",
+    "log_max_flops",
+    "mean_log_intensity",
+    "std_log_intensity",
+    *[f"flops_frac_{c.value}" for c in CATEGORY_ORDER],
+    "position_frac",
+    "length_frac",
+]
+
+
+class GlobalFeatureExtractor:
+    """Structural + statistics features for graphs and blocks."""
+
+    def __init__(self) -> None:
+        self._depthwise = DepthwiseFeatureExtractor()
+
+    @property
+    def structural_dim(self) -> int:
+        return len(STRUCTURAL_FEATURE_NAMES)
+
+    @property
+    def statistics_dim(self) -> int:
+        return len(STATISTICS_FEATURE_NAMES)
+
+    # ------------------------------------------------------------------
+    def extract(self, graph: Graph,
+                op_indices: Optional[Sequence[int]] = None) -> GlobalFeatures:
+        """Global features of a whole graph, or of the block selected by
+        ``op_indices`` (positions in the canonical compute order).
+
+        Block extraction adds where-in-the-network context
+        (``position_frac``, ``length_frac``) that whole-graph extraction
+        sets to 0 and 1 respectively.
+        """
+        compute = graph.compute_nodes()
+        n_total = len(compute)
+        if n_total == 0:
+            raise ValueError(f"graph {graph.name!r} has no compute nodes")
+        if op_indices is None:
+            nodes = compute
+            position_frac, length_frac = 0.0, 1.0
+        else:
+            indices = sorted(op_indices)
+            if not indices:
+                raise ValueError("empty block")
+            if indices[0] < 0 or indices[-1] >= n_total:
+                raise IndexError("block indices out of range")
+            nodes = [compute[i] for i in indices]
+            position_frac = indices[0] / n_total
+            length_frac = len(indices) / n_total
+
+        n = len(nodes)
+        cat_counts = np.zeros(_N_CATEGORIES)
+        cat_flops = np.zeros(_N_CATEGORIES)
+        flops = np.zeros(n)
+        params = np.zeros(n)
+        mem = np.zeros(n)
+        intensity = np.zeros(n)
+        n_residual = 0
+        n_branch = 0
+        n_merge = 0
+        has_attention = 0.0
+        has_dwconv = 0.0
+        has_concat = 0.0
+        for i, node in enumerate(nodes):
+            m = node_metrics(graph, node)
+            ci = _CAT_INDEX[node.category]
+            cat_counts[ci] += 1
+            cat_flops[ci] += m.flops
+            flops[i] = m.flops
+            params[i] = m.params
+            mem[i] = m.mem_elements
+            intensity[i] = m.arithmetic_intensity
+            if node.op is OpType.ADD and len(node.inputs) > 1:
+                n_residual += 1
+            if len(node.inputs) > 1:
+                n_merge += 1
+            if len(graph.consumers(node.name)) > 1:
+                n_branch += 1
+            if node.category is OpCategory.ATTENTION:
+                has_attention = 1.0
+            if node.category is OpCategory.DWCONV:
+                has_dwconv = 1.0
+            if node.op is OpType.CONCAT:
+                has_concat = 1.0
+
+        total_flops = float(flops.sum())
+        log_flops = np.log1p(flops)
+        log_intensity = np.log1p(intensity)
+
+        structural = np.array([
+            _log1p(n),
+            _log1p(graph.depth() if op_indices is None else n),
+            n_branch / n,
+            n_merge / n,
+            n_residual / n,
+            *(cat_counts / n),
+            has_attention,
+            has_dwconv,
+            has_concat,
+        ])
+        flops_frac = cat_flops / total_flops if total_flops > 0 \
+            else np.zeros(_N_CATEGORIES)
+        statistics = np.array([
+            _log1p(total_flops),
+            _log1p(float(params.sum())),
+            _log1p(float(mem.sum())),
+            _log1p(total_flops / n),
+            float(log_flops.std()),
+            _log1p(float(flops.max())),
+            float(log_intensity.mean()),
+            float(log_intensity.std()),
+            *flops_frac,
+            position_frac,
+            length_frac,
+        ])
+        return GlobalFeatures(structural=structural, statistics=statistics)
+
+    def extract_block_matrix(self, graph: Graph,
+                             blocks: Sequence[Sequence[int]]) -> np.ndarray:
+        """Stacked ``vector`` features for each block of a power view."""
+        return np.vstack([
+            self.extract(graph, block).vector for block in blocks
+        ])

@@ -1,0 +1,92 @@
+"""Stage timers backing the offline-overhead analysis (Table 3).
+
+The paper breaks PowerLens's offline cost into model-training time and
+per-network workflow time (feature extraction, hyper-parameter
+prediction, clustering, per-block decisions).  :class:`StageTimer`
+accumulates wall-clock per named stage; :class:`OverheadReport` renders
+the Table-3 layout.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+class StageTimer:
+    """Accumulates wall time per named stage."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._totals[name] = self._totals.get(name, 0.0) + dt
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        count = self._counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self._totals[name] / count
+
+    def stages(self) -> List[str]:
+        return list(self._totals)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+
+@dataclass
+class OverheadReport:
+    """Offline overhead in the Table-3 layout.
+
+    ``training`` rows are (phase, seconds); ``workflow`` rows are
+    (phase, mean seconds per network).
+    """
+
+    training: List[Tuple[str, float]] = field(default_factory=list)
+    workflow: List[Tuple[str, float]] = field(default_factory=list)
+    dvfs_switch_overhead_s: float = 0.0
+
+    def format_table(self, platform_name: str = "") -> str:
+        title = f"Offline overhead of PowerLens ({platform_name})" \
+            if platform_name else "Offline overhead of PowerLens"
+        lines = [title, "=" * len(title)]
+        lines.append("Model Training:")
+        for phase, seconds in self.training:
+            lines.append(f"  {phase:<45s} {_fmt_duration(seconds)}")
+        lines.append("Workflow (per network):")
+        for phase, seconds in self.workflow:
+            lines.append(f"  {phase:<45s} {_fmt_duration(seconds)}")
+        lines.append(
+            f"Runtime: mean DVFS switch overhead "
+            f"{_fmt_duration(self.dvfs_switch_overhead_s)}")
+        return "\n".join(lines)
+
+
+def _fmt_duration(seconds: float) -> str:
+    """Humanize a duration the way Table 3 does (h / s / ms)."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 1.0:
+        return f"{seconds:.1f}s"
+    return f"{seconds * 1000:.0f}ms"

@@ -1,0 +1,114 @@
+"""Save / load a fitted PowerLens deployment.
+
+``save_powerlens`` writes a directory with the two prediction models'
+weights, their feature scalers, the scheme grid and the framework
+configuration; ``load_powerlens`` reconstructs a ready-to-analyze
+:class:`~repro.core.pipeline.PowerLens` against a platform — the
+artefact a real deployment would ship to the board after the offline
+training phase.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.pipeline import PowerLens, PowerLensConfig
+from repro.core.predictors import DecisionModel, HyperparamPredictor
+from repro.core.schemes import ClusteringScheme
+from repro.hw.platform import PlatformSpec
+from repro.nn.serialize import (
+    load_params,
+    save_params,
+    scaler_from_dict,
+    scaler_to_dict,
+)
+
+_MANIFEST = "powerlens.json"
+_HYPER_WEIGHTS = "hyperparam_model.npz"
+_DECISION_WEIGHTS = "decision_model.npz"
+
+
+def save_powerlens(lens: PowerLens, directory: Union[str, Path]) -> Path:
+    """Persist a fitted framework; returns the manifest path."""
+    if lens.hyperparam_model is None or lens.decision_model is None:
+        raise ValueError("cannot save an unfitted PowerLens")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    hyper = lens.hyperparam_model
+    decision = lens.decision_model
+    save_params(hyper.model, directory / _HYPER_WEIGHTS)
+    save_params(decision.model, directory / _DECISION_WEIGHTS)
+
+    manifest = {
+        "platform": lens.platform.name,
+        "n_levels": lens.platform.n_levels,
+        "config": {
+            "batch_size": lens.config.batch_size,
+            "latency_slack": lens.config.latency_slack,
+            "alpha": lens.config.alpha,
+            "lam": lens.config.lam,
+            "n_networks": lens.config.n_networks,
+            "seed": lens.config.seed,
+        },
+        "schemes": [
+            {"eps": s.eps, "min_pts": s.min_pts} for s in lens.schemes
+        ],
+        "hyperparam": {
+            "structural_dim": hyper.model.structural_dim,
+            "statistics_dim": hyper.model.statistics_dim,
+            "scaler_struct": scaler_to_dict(hyper._scaler_struct),
+            "scaler_stats": scaler_to_dict(hyper._scaler_stats),
+        },
+        "decision": {
+            "input_dim": decision.model.layers[0].in_features,
+            "n_levels": decision.n_levels,
+            "scaler": scaler_to_dict(decision._scaler),
+        },
+    }
+    path = directory / _MANIFEST
+    path.write_text(json.dumps(manifest, indent=1))
+    return path
+
+
+def load_powerlens(directory: Union[str, Path],
+                   platform: PlatformSpec) -> PowerLens:
+    """Reconstruct a fitted PowerLens from :func:`save_powerlens` output.
+
+    ``platform`` must structurally match the saved deployment (same
+    number of DVFS levels); the spec itself is supplied by the caller
+    because platform objects carry calibration the manifest does not.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    if manifest["n_levels"] != platform.n_levels:
+        raise ValueError(
+            f"deployment was saved for {manifest['n_levels']} levels, "
+            f"platform {platform.name!r} has {platform.n_levels}")
+
+    schemes = [ClusteringScheme(eps=s["eps"], min_pts=s["min_pts"])
+               for s in manifest["schemes"]]
+    config = PowerLensConfig(schemes=schemes, **manifest["config"])
+    lens = PowerLens(platform, config)
+
+    h = manifest["hyperparam"]
+    hyper = HyperparamPredictor(schemes,
+                                structural_dim=h["structural_dim"],
+                                statistics_dim=h["statistics_dim"])
+    load_params(hyper.model, directory / _HYPER_WEIGHTS)
+    hyper._scaler_struct = scaler_from_dict(h["scaler_struct"])
+    hyper._scaler_stats = scaler_from_dict(h["scaler_stats"])
+    hyper._fitted = True
+
+    d = manifest["decision"]
+    decision = DecisionModel(input_dim=d["input_dim"],
+                             n_levels=d["n_levels"])
+    load_params(decision.model, directory / _DECISION_WEIGHTS)
+    decision._scaler = scaler_from_dict(d["scaler"])
+    decision._fitted = True
+
+    lens.hyperparam_model = hyper
+    lens.decision_model = decision
+    return lens

@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver returns a structured result object with a
+``format_table()`` method printing rows in the paper's layout, so the
+benchmark harness regenerates each artefact verbatim:
+
+* :mod:`~repro.experiments.table1`  — energy-efficiency improvement of
+  PowerLens over BiM / FPG-G / FPG-C+G, per model, per platform.
+* :mod:`~repro.experiments.figure5` — task-flow energy / time / EE for
+  the four methods on both platforms.
+* :mod:`~repro.experiments.table2`  — clustering ablation (P-R, P-N).
+* :mod:`~repro.experiments.table3`  — offline/runtime overhead.
+* :mod:`~repro.experiments.figure1` — reactive-governor ping-pong / lag
+  trace versus PowerLens's preset trace.
+* :mod:`~repro.experiments.accuracy` — prediction-model accuracy and
+  dataset statistics (section 2.2).
+"""
+
+from repro.experiments.common import ExperimentContext, get_context
+from repro.experiments.table1 import run_table1, Table1Result
+from repro.experiments.table2 import run_table2, Table2Result
+from repro.experiments.table3 import run_table3, Table3Result
+from repro.experiments.figure1 import run_figure1, Figure1Result
+from repro.experiments.figure5 import run_figure5, Figure5Result
+from repro.experiments.accuracy import run_accuracy, AccuracyResult
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Result",
+    "run_table3",
+    "Table3Result",
+    "run_figure1",
+    "Figure1Result",
+    "run_figure5",
+    "Figure5Result",
+    "run_accuracy",
+    "AccuracyResult",
+]

@@ -1,0 +1,133 @@
+"""Export experiment results to JSON / CSV.
+
+Every driver returns a structured result object; these helpers flatten
+them into machine-readable records so downstream analysis (plotting,
+regression tracking across simulator versions) doesn't scrape the
+pretty-printed tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.experiments.accuracy import AccuracyResult
+from repro.experiments.figure5 import Figure5Result
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import Table2Result
+from repro.experiments.table3 import Table3Result
+
+
+def table1_records(result: Table1Result) -> List[dict]:
+    """One record per (model, baseline) pair, plus per-model metadata."""
+    records = []
+    for row in result.rows:
+        base = {
+            "platform": result.platform,
+            "model": row.model,
+            "blocks": row.blocks,
+            "ee_powerlens": row.ee_powerlens,
+        }
+        for method in result.methods:
+            records.append({
+                **base,
+                "baseline": method,
+                "ee_baseline": row.ee_by_method[method],
+                "gain": row.gain_over(method),
+            })
+    return records
+
+
+def table2_records(result: Table2Result) -> List[dict]:
+    return [
+        {
+            "platform": result.platform,
+            "model": row.model,
+            "loss_pr": row.loss_pr,
+            "loss_pn": row.loss_pn,
+        }
+        for row in result.rows
+    ]
+
+
+def table3_records(result: Table3Result) -> List[dict]:
+    records = [
+        {"platform": result.platform, "section": "training",
+         "phase": phase, "seconds": seconds}
+        for phase, seconds in result.report.training
+    ]
+    records += [
+        {"platform": result.platform, "section": "workflow",
+         "phase": phase, "seconds": seconds}
+        for phase, seconds in result.report.workflow
+    ]
+    records.append({
+        "platform": result.platform, "section": "runtime",
+        "phase": "dvfs switch overhead",
+        "seconds": result.report.dvfs_switch_overhead_s,
+    })
+    return records
+
+
+def figure5_records(result: Figure5Result) -> List[dict]:
+    return [
+        {
+            "platform": result.platform,
+            "method": outcome.method,
+            "energy_j": outcome.energy_j,
+            "time_s": outcome.time_s,
+            "energy_efficiency": outcome.energy_efficiency,
+            "n_tasks": result.n_tasks,
+            "images": result.images,
+        }
+        for outcome in result.outcomes.values()
+    ]
+
+
+def accuracy_records(result: AccuracyResult) -> List[dict]:
+    return [{
+        "platform": result.platform,
+        "n_networks": result.n_networks,
+        "n_blocks": result.n_blocks,
+        "hyperparam_accuracy": result.hyperparam_accuracy,
+        "hyperparam_equivalent": result.hyperparam_equivalent,
+        "decision_accuracy": result.decision_accuracy,
+        "decision_within_1": result.decision_within_1,
+        "decision_within_2": result.decision_within_2,
+    }]
+
+
+_EXPORTERS = {
+    Table1Result: table1_records,
+    Table2Result: table2_records,
+    Table3Result: table3_records,
+    Figure5Result: figure5_records,
+    AccuracyResult: accuracy_records,
+}
+
+
+def to_records(result) -> List[dict]:
+    """Dispatch any known result object to its record exporter."""
+    for cls, exporter in _EXPORTERS.items():
+        if isinstance(result, cls):
+            return exporter(result)
+    raise TypeError(f"no exporter for {type(result).__name__}")
+
+
+def write_json(result, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(to_records(result), indent=1))
+
+
+def write_csv(result, path: Union[str, Path]) -> None:
+    records = to_records(result)
+    if not records:
+        Path(path).write_text("")
+        return
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    Path(path).write_text(buf.getvalue())

@@ -1,0 +1,100 @@
+"""Figure 1: the two DVFS methods' frequency behaviour.
+
+The paper's motivating illustration contrasts (A) a reactive governor's
+frequency trace — lagging the workload and ping-ponging between levels —
+with (B) PowerLens's preset per-block trace.  We regenerate it as data:
+the level timeline, switch/reversal counts and a lag measure (time spent
+below the target level after a burst starts) for both methods on the
+same workload, plus ASCII sparklines for terminal display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.experiments.common import ExperimentContext, get_context
+from repro.governors import OndemandGovernor
+from repro.hw.simulator import InferenceJob
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(levels: List[int], n_levels: int) -> str:
+    """Render a level sequence as a unicode sparkline."""
+    if not levels:
+        return ""
+    chars = []
+    for lvl in levels:
+        idx = int(lvl / max(n_levels - 1, 1) * (len(_SPARK) - 1))
+        chars.append(_SPARK[idx])
+    return "".join(chars)
+
+
+@dataclass
+class MethodTrace:
+    method: str
+    timeline: List[Tuple[float, float, int]]  # (t0, t1, level) runs
+    switch_count: int
+    reversal_count: int
+    energy_j: float
+    time_s: float
+
+    def sampled_levels(self, n_samples: int = 80) -> List[int]:
+        """Level at evenly spaced instants (for the sparkline)."""
+        if not self.timeline:
+            return []
+        t_end = self.timeline[-1][1]
+        out = []
+        seg = 0
+        for i in range(n_samples):
+            t = t_end * i / max(n_samples - 1, 1)
+            while seg + 1 < len(self.timeline) and \
+                    self.timeline[seg][1] < t:
+                seg += 1
+            out.append(self.timeline[seg][2])
+        return out
+
+
+@dataclass
+class Figure1Result:
+    platform: str
+    n_levels: int
+    traces: List[MethodTrace] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        title = (f"Figure 1: frequency behaviour of the two DVFS methods "
+                 f"on {self.platform}")
+        lines = [title, "=" * len(title)]
+        for tr in self.traces:
+            lines.append(
+                f"{tr.method:<12s} switches={tr.switch_count:<4d} "
+                f"reversals={tr.reversal_count:<4d} "
+                f"E={tr.energy_j:.1f}J t={tr.time_s:.2f}s")
+            lines.append(
+                f"  level trace: "
+                f"{sparkline(tr.sampled_levels(), self.n_levels)}")
+        return "\n".join(lines)
+
+
+def run_figure1(platform_name: str = "tx2", model: str = "resnet152",
+                n_batches: int = 4,
+                context: Optional[ExperimentContext] = None) -> Figure1Result:
+    """Trace one model's inference under ondemand (A) and PowerLens (B)."""
+    ctx = context or get_context(platform_name)
+    graph = ctx.graph(model)
+    job = InferenceJob(graph=graph, batch_size=16, n_batches=n_batches)
+    result = Figure1Result(platform=ctx.platform.name,
+                           n_levels=ctx.platform.n_levels)
+    for gov in (OndemandGovernor(), ctx.powerlens_governor([model])):
+        sim = ctx.simulator(noise_std=0.0, keep_trace=True)
+        run = sim.run([job], gov)
+        result.traces.append(MethodTrace(
+            method=gov.name,
+            timeline=run.trace.frequency_timeline(),
+            switch_count=run.switch_count,
+            reversal_count=run.reversal_count,
+            energy_j=run.report.total_energy,
+            time_s=run.report.total_time,
+        ))
+    return result

@@ -1,0 +1,105 @@
+"""Table 1: energy-efficiency improvement of PowerLens per model.
+
+For every network of the suite we run the same EE test (batched
+inference averaged over randomized runs) under PowerLens and the three
+baselines, then report PowerLens's relative EE gain over each baseline
+— the exact quantity of the table's BiM / FPG-G / FPG-CG columns,
+``(EE_powerlens - EE_baseline) / EE_baseline`` — plus the power-block
+count of the PowerLens view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_N_RUNS,
+    ExperimentContext,
+    get_context,
+    paper_models,
+)
+from repro.workloads.taskflow import DEFAULT_BATCH_SIZE, make_model_job
+
+
+@dataclass
+class Table1Row:
+    """One model's results."""
+
+    model: str
+    blocks: int
+    ee_powerlens: float
+    ee_by_method: Dict[str, float]
+
+    def gain_over(self, method: str) -> float:
+        base = self.ee_by_method[method]
+        if base <= 0:
+            return 0.0
+        return (self.ee_powerlens - base) / base
+
+
+@dataclass
+class Table1Result:
+    """All rows for one platform plus the paper-style averages."""
+
+    platform: str
+    rows: List[Table1Row] = field(default_factory=list)
+    methods: Sequence[str] = ("bim", "fpg_g", "fpg_cg")
+
+    def average_gain(self, method: str) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.gain_over(method) for r in self.rows) / len(self.rows)
+
+    def format_table(self) -> str:
+        title = (f"Table 1: energy efficiency improvement on "
+                 f"{self.platform}")
+        lines = [title, "=" * len(title),
+                 f"{'model name':<16s} {'Block':>5s} "
+                 + " ".join(f"{m.upper():>9s}" for m in self.methods)]
+        for row in self.rows:
+            gains = " ".join(
+                f"{row.gain_over(m) * 100:+8.2f}%" for m in self.methods)
+            lines.append(f"{row.model:<16s} {row.blocks:>5d} {gains}")
+        avg = " ".join(
+            f"{self.average_gain(m) * 100:+8.2f}%" for m in self.methods)
+        lines.append(f"{'Average':<16s} {'':>5s} {avg}")
+        return "\n".join(lines)
+
+
+def run_table1(platform_name: str = "tx2",
+               models: Optional[Sequence[str]] = None,
+               n_runs: int = DEFAULT_N_RUNS,
+               batch_size: int = DEFAULT_BATCH_SIZE,
+               context: Optional[ExperimentContext] = None,
+               seed: int = 0) -> Table1Result:
+    """Regenerate Table 1(a) (TX2) or 1(b) (AGX).
+
+    ``n_runs`` is the number of randomized batches averaged per EE test
+    (the paper uses 50; the default trades runtime for the same
+    statistics).
+    """
+    ctx = context or get_context(platform_name)
+    models = list(models) if models else paper_models()
+    result = Table1Result(platform=ctx.platform.name)
+
+    for model_name in models:
+        graph = ctx.graph(model_name)
+        job = make_model_job(graph, n_runs=n_runs, batch_size=batch_size)
+        plan = ctx.lens.analyze(graph)
+        powerlens_gov = ctx.powerlens_governor([model_name])
+
+        sim = ctx.simulator(seed=seed)
+        ee_pl = sim.run([job], powerlens_gov).report.energy_efficiency
+        ee_by_method: Dict[str, float] = {}
+        for gov in ctx.baseline_governors():
+            sim = ctx.simulator(seed=seed)
+            ee_by_method[gov.name] = sim.run(
+                [job], gov).report.energy_efficiency
+        result.rows.append(Table1Row(
+            model=model_name,
+            blocks=plan.n_blocks,
+            ee_powerlens=ee_pl,
+            ee_by_method=ee_by_method,
+        ))
+    return result

@@ -1,0 +1,89 @@
+"""Table 2: energy-efficiency loss of the clustering ablations.
+
+P-R replaces Algorithm 1 with random block partitioning; P-N removes
+clustering entirely (one decision for the whole network).  The table
+reports each variant's EE loss relative to full PowerLens,
+``(EE_variant - EE_powerlens) / EE_powerlens`` (negative = worse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.ablation import no_clustering_plan, random_partition_plan
+from repro.experiments.common import (
+    DEFAULT_N_RUNS,
+    ExperimentContext,
+    get_context,
+    paper_models,
+)
+from repro.governors.preset import PresetGovernor
+from repro.workloads.taskflow import DEFAULT_BATCH_SIZE, make_model_job
+
+
+@dataclass
+class Table2Row:
+    model: str
+    loss_pr: float
+    loss_pn: float
+
+
+@dataclass
+class Table2Result:
+    platform: str
+    rows: List[Table2Row] = field(default_factory=list)
+
+    def average(self, which: str) -> float:
+        if not self.rows:
+            return 0.0
+        vals = [getattr(r, f"loss_{which}") for r in self.rows]
+        return sum(vals) / len(vals)
+
+    def format_table(self) -> str:
+        title = (f"Table 2: EE loss for different clustering strategies "
+                 f"on {self.platform}")
+        lines = [title, "=" * len(title),
+                 f"{'DNN model':<16s} {'P-R':>9s} {'P-N':>9s}"]
+        for row in self.rows:
+            lines.append(f"{row.model:<16s} {row.loss_pr * 100:+8.2f}% "
+                         f"{row.loss_pn * 100:+8.2f}%")
+        lines.append(f"{'Average':<16s} {self.average('pr') * 100:+8.2f}% "
+                     f"{self.average('pn') * 100:+8.2f}%")
+        return "\n".join(lines)
+
+
+def run_table2(platform_name: str = "tx2",
+               models: Optional[Sequence[str]] = None,
+               n_runs: int = DEFAULT_N_RUNS,
+               batch_size: int = DEFAULT_BATCH_SIZE,
+               context: Optional[ExperimentContext] = None,
+               seed: int = 0) -> Table2Result:
+    """Regenerate one platform's half of Table 2."""
+    ctx = context or get_context(platform_name)
+    models = list(models) if models else paper_models()
+    result = Table2Result(platform=ctx.platform.name)
+
+    for model_name in models:
+        graph = ctx.graph(model_name)
+        job = make_model_job(graph, n_runs=n_runs, batch_size=batch_size)
+
+        ee = {}
+        variants = {
+            "powerlens": ctx.lens.analyze(graph).plan,
+            "pr": random_partition_plan(ctx.lens, graph, seed=seed),
+            "pn": no_clustering_plan(ctx.lens, graph),
+        }
+        for tag, plan in variants.items():
+            gov = PresetGovernor([plan], name=f"powerlens-{tag}")
+            # Noise-free: the ablation isolates plan quality, and the
+            # paper's 50-run averaging serves exactly this purpose.
+            sim = ctx.simulator(noise_std=0.0, seed=seed)
+            ee[tag] = sim.run([job], gov).report.energy_efficiency
+        base = ee["powerlens"]
+        result.rows.append(Table2Row(
+            model=model_name,
+            loss_pr=(ee["pr"] - base) / base if base > 0 else 0.0,
+            loss_pn=(ee["pn"] - base) / base if base > 0 else 0.0,
+        ))
+    return result

@@ -1,0 +1,40 @@
+"""Extensions beyond the paper's evaluated system — its stated future
+work (section 5): "we will incorporate more configurable optimization
+options into PowerLens, such as CPU DVFS and batchsize".
+
+* :mod:`~repro.extensions.cpu_dvfs` — PowerLens-C+G: the framework also
+  plans the host cluster's frequency for the preprocessing phases.
+* :mod:`~repro.extensions.batching` — joint batch-size / frequency
+  selection under a latency budget (the direction of reference [15]).
+* :mod:`~repro.extensions.calibrate` — fit a :class:`PlatformSpec`'s
+  power/latency coefficients to measured samples, the bridge from this
+  simulator to a physical board.
+"""
+
+from repro.extensions.cpu_dvfs import (
+    PowerLensCGGovernor,
+    optimal_cpu_level,
+    cpu_phase_energy,
+)
+from repro.extensions.batching import (
+    BatchChoice,
+    best_batch_size,
+    batch_sweep,
+)
+from repro.extensions.calibrate import (
+    CalibrationSample,
+    CalibrationResult,
+    fit_power_model,
+)
+
+__all__ = [
+    "PowerLensCGGovernor",
+    "optimal_cpu_level",
+    "cpu_phase_energy",
+    "BatchChoice",
+    "best_batch_size",
+    "batch_sweep",
+    "CalibrationSample",
+    "CalibrationResult",
+    "fit_power_model",
+]

@@ -1,0 +1,36 @@
+"""DVFS governors: the paper's three baselines plus utility governors.
+
+* :class:`OndemandGovernor` — the built-in method (BiM), the Linux
+  simple_ondemand devfreq policy both Jetson boards ship with.
+* :class:`FPGGovernor` — the FPG heuristic of Karzhaubayeva et al.
+  (reference [5] of the paper), in GPU-only (FPG-G) and CPU+GPU
+  (FPG-C+G) variants.
+* :class:`StaticGovernor` — pinned level (used by frequency sweeps).
+* :class:`PresetGovernor` — executes a per-block frequency plan at
+  operator-boundary instrumentation points; this is the runtime half of
+  PowerLens (the plan itself comes from :mod:`repro.core`).
+* :class:`OracleGovernor` — exhaustive per-block optimum, the upper
+  bound used to sanity-check the decision model.
+"""
+
+from repro.governors.base import Governor, GOVERNOR_REGISTRY, make_governor
+from repro.governors.static import StaticGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.fpg import FPGGovernor, fpg_g, fpg_cg
+from repro.governors.preset import PresetGovernor, FrequencyPlan, PlanStep
+from repro.governors.oracle import OracleGovernor
+
+__all__ = [
+    "Governor",
+    "GOVERNOR_REGISTRY",
+    "make_governor",
+    "StaticGovernor",
+    "OndemandGovernor",
+    "FPGGovernor",
+    "fpg_g",
+    "fpg_cg",
+    "PresetGovernor",
+    "FrequencyPlan",
+    "PlanStep",
+    "OracleGovernor",
+]

@@ -1,0 +1,79 @@
+"""The built-in method (BiM): Linux ``simple_ondemand`` devfreq policy.
+
+This is the governor both Jetson boards ship with and the paper's first
+baseline.  It reacts to the *previous* telemetry window's load:
+
+* load above ``up_threshold`` -> jump straight to the maximum level
+  (race-to-idle behaviour of simple_ondemand);
+* load below ``up_threshold - down_differential`` -> retarget the lowest
+  level whose capacity still covers the observed load.
+
+Because decisions lag one window behind reality, alternating CPU/GPU
+phases produce exactly the frequency ping-pong and response lag the
+paper's Figure 1(A) illustrates: the GPU clock collapses while the host
+preprocesses, then spends a window (or more) catching up once the burst
+arrives — and during steady inference the GPU is pinned at maximum
+frequency, which is far past the energy-optimal point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.governors.base import Governor, register_governor
+from repro.hw.platform import PlatformSpec
+from repro.hw.telemetry import TelemetrySample
+
+
+class OndemandGovernor(Governor):
+    """simple_ondemand with the kernel's default thresholds (90/5)."""
+
+    name = "bim"
+
+    def __init__(self, up_threshold: float = 0.90,
+                 down_differential: float = 0.05) -> None:
+        super().__init__()
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError("up_threshold must be in (0, 1]")
+        if not 0.0 <= down_differential < up_threshold:
+            raise ValueError("down_differential must be in [0, up_threshold)")
+        self.up_threshold = up_threshold
+        self.down_differential = down_differential
+        self._level = 0
+
+    def reset(self, platform: PlatformSpec) -> None:
+        super().reset(platform)
+        # A freshly booted board idles at the bottom of the ladder.
+        self._level = 0
+
+    def initial_gpu_level(self) -> int:
+        return self._level
+
+    def on_sample(self, sample: TelemetrySample) -> Optional[int]:
+        assert self.platform is not None
+        load = sample.gpu_busy
+        cur = sample.gpu_level
+        if load > self.up_threshold:
+            target = self.platform.max_level
+        elif load < self.up_threshold - self.down_differential:
+            # Lowest frequency that still fits the observed load with the
+            # up_threshold headroom: f_target = f_cur * load / threshold.
+            cur_freq = self.platform.freq_of_level(cur)
+            wanted = cur_freq * load / self.up_threshold
+            target = 0
+            for lvl, f in enumerate(self.platform.gpu_freq_levels):
+                if f >= wanted:
+                    target = lvl
+                    break
+            else:
+                target = self.platform.max_level
+        else:
+            return None
+        self._level = target
+        if target == cur:
+            return None
+        return target
+
+
+register_governor("bim", OndemandGovernor)
+register_governor("ondemand", OndemandGovernor)

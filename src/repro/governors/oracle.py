@@ -1,0 +1,46 @@
+"""Oracle governor: exhaustive per-block optimum.
+
+Given a power view, labels every block with the level an exhaustive
+frequency sweep selects (the same rule that labels Dataset B in
+section 2.2).  It is the upper bound the decision model approximates and
+the reference the accuracy experiment compares against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.governors.preset import FrequencyPlan, PlanStep, PresetGovernor
+from repro.graph import Graph
+from repro.hw.analytic import AnalyticEvaluator
+from repro.hw.platform import PlatformSpec
+
+
+def oracle_plan(platform: PlatformSpec, graph: Graph,
+                blocks: Sequence[Sequence[int]], batch_size: int = 16,
+                latency_slack: float = 0.25) -> FrequencyPlan:
+    """Build the exhaustive-sweep plan for ``graph`` under ``blocks``."""
+    evaluator = AnalyticEvaluator(platform)
+    steps: List[PlanStep] = []
+    for block in blocks:
+        level = evaluator.best_level_for_block(
+            graph, block, batch_size=batch_size,
+            latency_slack=latency_slack)
+        steps.append(PlanStep(op_index=min(block), level=level))
+    return FrequencyPlan(graph_name=graph.name, steps=steps)
+
+
+class OracleGovernor(PresetGovernor):
+    """Preset governor whose plans come from exhaustive sweeps."""
+
+    name = "oracle"
+
+    def __init__(self, platform: PlatformSpec,
+                 graphs_and_blocks: Sequence[tuple],
+                 batch_size: int = 16,
+                 latency_slack: float = 0.25) -> None:
+        plans = [
+            oracle_plan(platform, graph, blocks, batch_size, latency_slack)
+            for graph, blocks in graphs_and_blocks
+        ]
+        super().__init__(plans, name="oracle")

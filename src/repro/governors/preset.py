@@ -1,0 +1,127 @@
+"""Preset governor: executes a per-block frequency plan.
+
+This is the runtime half of PowerLens (section 2.1.4): DVFS
+instrumentation points are preset *before* each power block, each
+carrying the block's target level, so the frequency is already correct
+when the block's first kernel launches — no reactive lag and no
+ping-pong.  The plan itself is produced offline by
+:class:`repro.core.pipeline.PowerLens` (or by the oracle / ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.governors.base import Governor
+from repro.hw.perf import OpWork
+from repro.hw.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One instrumentation point: when operator ``op_index`` is about to
+    start, retarget the GPU to ``level``."""
+
+    op_index: int
+    level: int
+
+
+@dataclass
+class FrequencyPlan:
+    """Instrumentation points for one graph.
+
+    ``steps`` must be sorted by ``op_index`` and start at operator 0 so
+    every operator executes under an explicitly chosen level.
+    """
+
+    graph_name: str
+    steps: List[PlanStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a frequency plan needs at least one step")
+        indices = [s.op_index for s in self.steps]
+        if indices != sorted(indices) or len(set(indices)) != len(indices):
+            raise ValueError("plan steps must be strictly increasing")
+        if self.steps[0].op_index != 0:
+            raise ValueError("plan must cover the graph from operator 0")
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.steps)
+
+    def level_for_op(self, op_index: int) -> int:
+        """Level in force while ``op_index`` executes."""
+        level = self.steps[0].level
+        for step in self.steps:
+            if step.op_index > op_index:
+                break
+            level = step.level
+        return level
+
+    def switch_indices(self) -> List[int]:
+        """Operator indices where the level actually changes."""
+        result = []
+        prev: Optional[int] = None
+        for step in self.steps:
+            if prev is None or step.level != prev:
+                result.append(step.op_index)
+            prev = step.level
+        return result
+
+
+class PresetGovernor(Governor):
+    """Applies :class:`FrequencyPlan` objects at instrumentation points.
+
+    Plans are keyed by graph name; jobs whose graph has no plan run at
+    ``fallback_level`` (maximum by default).  The CPU keeps the stock
+    ondemand policy — the paper's PowerLens configures *only* the GPU.
+    """
+
+    name = "powerlens"
+
+    def __init__(self, plans: Sequence[FrequencyPlan],
+                 fallback_level: Optional[int] = None,
+                 name: str = "powerlens") -> None:
+        super().__init__()
+        self.name = name
+        self._plans: Dict[str, FrequencyPlan] = {
+            p.graph_name: p for p in plans
+        }
+        self._fallback = fallback_level
+        self._active: Optional[FrequencyPlan] = None
+        self._pending: Dict[int, int] = {}
+
+    def plan_for(self, graph_name: str) -> Optional[FrequencyPlan]:
+        return self._plans.get(graph_name)
+
+    def add_plan(self, plan: FrequencyPlan) -> None:
+        self._plans[plan.graph_name] = plan
+
+    def reset(self, platform: PlatformSpec) -> None:
+        super().reset(platform)
+        self._active = None
+        self._pending = {}
+
+    def initial_gpu_level(self) -> int:
+        assert self.platform is not None
+        if self._fallback is not None:
+            return self.platform.clamp_level(self._fallback)
+        return self.platform.max_level
+
+    def on_job_start(self, job_idx: int, job) -> Optional[int]:
+        self._active = self._plans.get(job.graph.name)
+        if self._active is None:
+            self._pending = {}
+            return self.initial_gpu_level()
+        self._pending = {
+            s.op_index: s.level for s in self._active.steps
+        }
+        return None
+
+    def on_op_start(self, job_idx: int, op_idx: int,
+                    work: OpWork) -> Optional[int]:
+        if op_idx in self._pending:
+            return self._pending[op_idx]
+        return None

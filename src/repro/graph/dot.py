@@ -1,0 +1,60 @@
+"""Graphviz DOT export, with optional power-view block colouring.
+
+Used by the examples to visualize how the power behaviour similarity
+clustering partitions a network into power blocks (the 'power view' of
+Figure 1(B) in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType
+
+_PALETTE = [
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+    "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+]
+
+
+def graph_to_dot(graph: Graph,
+                 block_of_node: Optional[Dict[str, int]] = None,
+                 max_label_len: int = 28) -> str:
+    """Render ``graph`` as a DOT digraph string.
+
+    Parameters
+    ----------
+    block_of_node:
+        Optional map from node name to power-block index; nodes in the
+        same block share a fill colour.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;",
+             '  node [shape=box, style="rounded,filled", '
+             'fillcolor="#eeeeee", fontsize=10];']
+    for node in graph.topological_order():
+        label = f"{node.name}\\n{node.op.value} {node.output_shape}"
+        if len(label) > max_label_len * 2:
+            label = label[: max_label_len * 2]
+        color = "#eeeeee"
+        if node.op is OpType.INPUT:
+            color = "#ffffff"
+        elif block_of_node and node.name in block_of_node:
+            color = _PALETTE[block_of_node[node.name] % len(_PALETTE)]
+        lines.append(
+            f'  "{node.name}" [label="{label}", fillcolor="{color}"];')
+    for node in graph.topological_order():
+        for src in node.inputs:
+            lines.append(f'  "{src}" -> "{node.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def power_view_to_dot(graph: Graph, blocks: Sequence[Sequence[int]]) -> str:
+    """DOT rendering where ``blocks`` lists compute-node index groups."""
+    compute = graph.compute_nodes()
+    block_of_node: Dict[str, int] = {}
+    for b_idx, members in enumerate(blocks):
+        for op_idx in members:
+            block_of_node[compute[op_idx].name] = b_idx
+    return graph_to_dot(graph, block_of_node)

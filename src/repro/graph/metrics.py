@@ -1,0 +1,200 @@
+"""Per-operator and whole-graph cost metrics.
+
+These metrics are the raw material of the paper's power-sensitive feature
+extraction (section 2.1.2): computational load (FLOPs), parameter count,
+memory-access volume, channel counts and feature-map dimensions.  They are
+also what the hardware simulator's roofline model consumes.
+
+All counts are per batch element; the simulator scales by batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.graph.graph import Graph, Node
+from repro.graph.ops import (
+    ACTIVATION_COST_FACTORS,
+    AttentionAttrs,
+    ConvAttrs,
+    LinearAttrs,
+    NormAttrs,
+    OpCategory,
+    OpType,
+    PoolAttrs,
+    is_activation,
+)
+from repro.graph.shapes import Shape, element_count
+
+
+@dataclass(frozen=True)
+class NodeMetrics:
+    """Cost metrics of one operator, per batch element.
+
+    Attributes
+    ----------
+    flops:
+        Floating point operations (multiply-accumulate counted as 2).
+    params:
+        Learnable parameter count.
+    mem_elements:
+        Elements moved through memory: inputs read + outputs written +
+        weights read.  The hardware model multiplies by dtype size.
+    in_elements / out_elements:
+        Activation element counts, used for utilisation features.
+    arithmetic_intensity:
+        flops / mem_elements — the roofline abscissa; high values mean
+        compute-bound operators, low values memory-bound ones.
+    """
+
+    flops: float
+    params: float
+    mem_elements: float
+    in_elements: float
+    out_elements: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.mem_elements <= 0:
+            return 0.0
+        return self.flops / self.mem_elements
+
+
+def _input_shapes(graph: Graph, node: Node) -> Tuple[Shape, ...]:
+    return tuple(graph[src].output_shape for src in node.inputs)
+
+
+def node_metrics(graph: Graph, node: Node) -> NodeMetrics:
+    """Compute :class:`NodeMetrics` for a node whose shapes are inferred."""
+    in_shapes = _input_shapes(graph, node)
+    out_shape = node.output_shape
+    in_elems = float(sum(element_count(s) for s in in_shapes))
+    out_elems = float(element_count(out_shape))
+    op = node.op
+    attrs = node.attrs
+
+    flops = 0.0
+    params = 0.0
+
+    if op is OpType.INPUT:
+        return NodeMetrics(0.0, 0.0, out_elems, 0.0, out_elems)
+
+    if op is OpType.CONV2D:
+        assert isinstance(attrs, ConvAttrs)
+        cin = in_shapes[0][0]
+        cout, oh, ow = out_shape
+        kh, kw = attrs.kernel
+        macs_per_out = (cin // attrs.groups) * kh * kw
+        flops = 2.0 * cout * oh * ow * macs_per_out
+        params = cout * (cin // attrs.groups) * kh * kw
+        if attrs.bias:
+            params += cout
+            flops += cout * oh * ow
+    elif op is OpType.LINEAR:
+        assert isinstance(attrs, LinearAttrs)
+        din = in_shapes[0][-1]
+        dout = attrs.out_features
+        rows = element_count(in_shapes[0]) // max(din, 1)
+        flops = 2.0 * rows * din * dout
+        params = din * dout
+        if attrs.bias:
+            params += dout
+            flops += rows * dout
+    elif op is OpType.ATTENTION:
+        assert isinstance(attrs, AttentionAttrs)
+        length, dim = in_shapes[0]
+        # QKV projections + output projection: 4 dense D x D matmuls.
+        flops = 2.0 * length * dim * dim * 4
+        # Scaled dot-product: Q.K^T and attn.V, each 2*L*L*D.
+        flops += 2.0 * length * length * dim * 2
+        # Softmax over L x L logits per head.
+        flops += 5.0 * attrs.num_heads * length * length
+        params = 4.0 * dim * dim
+        if attrs.qkv_bias:
+            params += 4.0 * dim
+    elif op is OpType.BATCHNORM2D:
+        assert isinstance(attrs, NormAttrs)
+        c = out_shape[0]
+        flops = 2.0 * out_elems
+        params = (2.0 if attrs.affine else 0.0) * c + 2.0 * c  # + run stats
+    elif op is OpType.LAYERNORM:
+        assert isinstance(attrs, NormAttrs)
+        d = out_shape[-1]
+        flops = 5.0 * out_elems
+        params = (2.0 if attrs.affine else 0.0) * d
+    elif is_activation(op):
+        flops = ACTIVATION_COST_FACTORS[op] * out_elems
+    elif op in (OpType.MAXPOOL2D, OpType.AVGPOOL2D):
+        assert isinstance(attrs, PoolAttrs)
+        flops = out_elems * attrs.kernel[0] * attrs.kernel[1]
+    elif op is OpType.ADAPTIVE_AVGPOOL2D:
+        # Every input element is touched exactly once.
+        flops = in_elems
+    elif op in (OpType.ADD, OpType.MUL):
+        flops = out_elems * (len(in_shapes) - 1)
+    elif op is OpType.CLS_POS_EMBED:
+        length, dim = out_shape
+        flops = out_elems  # positional add
+        params = (length * dim) + dim  # pos table + cls token
+    elif op in (OpType.CONCAT, OpType.FLATTEN, OpType.DROPOUT,
+                OpType.TOKENIZE, OpType.SELECT_TOKEN):
+        flops = 0.0
+    else:  # pragma: no cover - exhaustive above
+        raise ValueError(f"no metrics rule for {op!r}")
+
+    mem = in_elems + out_elems + params
+    return NodeMetrics(flops, params, mem, in_elems, out_elems)
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Whole-graph aggregate metrics (the 'statistics and aggregation'
+    half of the paper's global feature extractor)."""
+
+    total_flops: float
+    total_params: float
+    total_mem_elements: float
+    n_compute_nodes: int
+    depth: int
+    flops_by_category: Dict[str, float]
+    count_by_category: Dict[str, int]
+
+    @property
+    def mean_intensity(self) -> float:
+        if self.total_mem_elements <= 0:
+            return 0.0
+        return self.total_flops / self.total_mem_elements
+
+
+def graph_metrics(graph: Graph) -> GraphMetrics:
+    """Aggregate :class:`NodeMetrics` over all compute nodes."""
+    total_flops = 0.0
+    total_params = 0.0
+    total_mem = 0.0
+    flops_by_cat: Dict[str, float] = {c.value: 0.0 for c in OpCategory}
+    count_by_cat: Dict[str, int] = {c.value: 0 for c in OpCategory}
+    nodes = graph.compute_nodes()
+    for node in nodes:
+        m = node_metrics(graph, node)
+        total_flops += m.flops
+        total_params += m.params
+        total_mem += m.mem_elements
+        cat = node.category.value
+        flops_by_cat[cat] += m.flops
+        count_by_cat[cat] += 1
+    return GraphMetrics(
+        total_flops=total_flops,
+        total_params=total_params,
+        total_mem_elements=total_mem,
+        n_compute_nodes=len(nodes),
+        depth=graph.depth(),
+        flops_by_category=flops_by_cat,
+        count_by_category=count_by_cat,
+    )
+
+
+def metrics_table(graph: Graph) -> Sequence[Tuple[str, NodeMetrics]]:
+    """(node name, metrics) rows for every compute node, in canonical
+    order — handy for debugging and for the examples."""
+    return [(n.name, node_metrics(graph, n)) for n in graph.compute_nodes()]

@@ -1,0 +1,88 @@
+"""Structural validation of graphs.
+
+The random DNN generator leans on this pass: every generated network is
+validated before it enters the training datasets, mirroring the paper's
+requirement that generated networks be deployable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType
+from repro.graph.shapes import ShapeError, infer_output_shape
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a graph; ``severity`` is 'error' or 'warning'."""
+
+    node: str
+    severity: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.severity}] {self.node}: {self.message}"
+
+
+def validate_graph(graph: Graph) -> List[ValidationIssue]:
+    """Check a graph for structural and shape consistency.
+
+    Returns a list of issues; an empty list means the graph is valid.
+    Errors: missing inputs on compute nodes, shape-inference mismatches,
+    unreachable nodes.  Warnings: multiple outputs, dangling compute nodes
+    other than the final output.
+    """
+    issues: List[ValidationIssue] = []
+
+    if not graph.input_nodes:
+        issues.append(ValidationIssue("<graph>", "error",
+                                      "graph has no input node"))
+
+    # Shape consistency: recompute every node's shape from its producers.
+    for node in graph.topological_order():
+        if node.op is OpType.INPUT:
+            continue
+        if not node.inputs:
+            issues.append(ValidationIssue(
+                node.name, "error",
+                f"compute node of type {node.op.value} has no inputs"))
+            continue
+        in_shapes = [graph[s].output_shape for s in node.inputs]
+        try:
+            expected = infer_output_shape(node.op, node.attrs, in_shapes)
+        except ShapeError as exc:
+            issues.append(ValidationIssue(node.name, "error", str(exc)))
+            continue
+        if tuple(expected) != tuple(node.output_shape):
+            issues.append(ValidationIssue(
+                node.name, "error",
+                f"stored shape {node.output_shape} != inferred {expected}"))
+
+    # Reachability from inputs.
+    reachable = {n.name for n in graph.input_nodes}
+    for node in graph.topological_order():
+        if node.inputs and any(s in reachable for s in node.inputs):
+            reachable.add(node.name)
+    for node in graph.nodes():
+        if node.name not in reachable and node.op is not OpType.INPUT:
+            issues.append(ValidationIssue(
+                node.name, "error", "node unreachable from any input"))
+
+    outputs = graph.output_nodes
+    if len(outputs) > 1:
+        names = ", ".join(n.name for n in outputs)
+        issues.append(ValidationIssue(
+            "<graph>", "warning",
+            f"graph has {len(outputs)} output nodes: {names}"))
+    return issues
+
+
+def assert_valid(graph: Graph) -> None:
+    """Raise ``ValueError`` listing all errors if the graph is invalid."""
+    errors = [i for i in validate_graph(graph) if i.severity == "error"]
+    if errors:
+        detail = "; ".join(str(e) for e in errors)
+        raise ValueError(f"invalid graph {graph.name!r}: {detail}")

@@ -1,0 +1,95 @@
+"""DVFS actuation: level changes with realistic command cost.
+
+A level change has two costs (section 2.3.2 / 3.3 of the paper):
+
+* the CPU-side command (sysfs write + driver reconfiguration) occupies
+  the host for ``dvfs_latency_s`` (the paper measures ~50 ms averaged
+  over 100 switches);
+* the GPU pipeline stalls briefly (``dvfs_stall_s``) while the clock
+  actually transitions.
+
+The controller also keeps a switch history from which ping-pong metrics
+(direction reversals per second) can be derived — used to demonstrate the
+frequency ping-pong issue of Figure 1(A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hw.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class DVFSSwitch:
+    """Record of one actuated level change."""
+
+    t: float
+    from_level: int
+    to_level: int
+
+    @property
+    def direction(self) -> int:
+        if self.to_level > self.from_level:
+            return 1
+        if self.to_level < self.from_level:
+            return -1
+        return 0
+
+
+@dataclass
+class DVFSController:
+    """Tracks the current GPU level and accounts for switch costs."""
+
+    platform: PlatformSpec
+    level: int = 0
+    history: List[DVFSSwitch] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.level = self.platform.clamp_level(self.level)
+
+    @property
+    def freq(self) -> float:
+        return self.platform.freq_of_level(self.level)
+
+    def request(self, t: float, level: int) -> Optional[DVFSSwitch]:
+        """Request a switch to ``level`` at time ``t``.
+
+        Returns the switch record if a change actually happens, ``None``
+        if the request is a no-op (already at the level).  The caller is
+        responsible for charging ``platform.dvfs_stall_s`` of GPU stall
+        and ``platform.dvfs_latency_s`` of CPU occupancy.
+        """
+        level = self.platform.clamp_level(level)
+        if level == self.level:
+            return None
+        switch = DVFSSwitch(t=t, from_level=self.level, to_level=level)
+        self.level = level
+        self.history.append(switch)
+        return switch
+
+    # ------------------------------------------------------------------
+    # ping-pong diagnostics
+    # ------------------------------------------------------------------
+    def switch_count(self) -> int:
+        return len(self.history)
+
+    def reversal_count(self) -> int:
+        """Number of direction reversals (up-then-down or down-then-up)
+        in the switch history — the ping-pong signature."""
+        reversals = 0
+        prev_dir = 0
+        for sw in self.history:
+            d = sw.direction
+            if d != 0 and prev_dir != 0 and d != prev_dir:
+                reversals += 1
+            if d != 0:
+                prev_dir = d
+        return reversals
+
+    def reversal_rate(self, total_time: float) -> float:
+        """Reversals per second over ``total_time``."""
+        if total_time <= 0:
+            return 0.0
+        return self.reversal_count() / total_time

@@ -1,0 +1,81 @@
+"""A pynvml-flavoured facade over the simulated platform.
+
+Real deployments query clocks and power through NVML / tegrastats; this
+shim exposes the same verbs against a :class:`SimulationResult` or a live
+platform spec so downstream tooling written against NVML idioms ports
+over unchanged.  It is intentionally a thin convenience layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.platform import PlatformSpec
+from repro.hw.telemetry import TelemetrySample
+
+
+class NVMLError(Exception):
+    """Raised for queries against an uninitialized shim."""
+
+
+class SimulatedNVML:
+    """Mimics the small slice of the pynvml API the paper's tooling needs:
+    supported clocks, current clock, current power draw."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+        self._initialized = False
+        self._last_sample: Optional[TelemetrySample] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def nvmlInit(self) -> None:
+        self._initialized = True
+
+    def nvmlShutdown(self) -> None:
+        self._initialized = False
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise NVMLError("nvmlInit() has not been called")
+
+    # -- device queries --------------------------------------------------
+    def nvmlDeviceGetName(self) -> str:
+        self._check()
+        return self.platform.name
+
+    def nvmlDeviceGetSupportedGraphicsClocks(self) -> List[int]:
+        """Supported GPU clocks in MHz, descending (NVML convention)."""
+        self._check()
+        return sorted(
+            (int(round(f / 1e6)) for f in self.platform.gpu_freq_levels),
+            reverse=True,
+        )
+
+    def feed_sample(self, sample: TelemetrySample) -> None:
+        """Attach the most recent telemetry window (simulation hook)."""
+        self._last_sample = sample
+
+    def nvmlDeviceGetClockInfo(self) -> int:
+        """Current graphics clock in MHz."""
+        self._check()
+        if self._last_sample is None:
+            return int(round(self.platform.f_max / 1e6))
+        freq = self.platform.freq_of_level(self._last_sample.gpu_level)
+        return int(round(freq / 1e6))
+
+    def nvmlDeviceGetPowerUsage(self) -> int:
+        """Current total power draw in milliwatts (NVML convention)."""
+        self._check()
+        if self._last_sample is None:
+            return 0
+        return int(round(self._last_sample.total_power * 1000))
+
+    def nvmlDeviceGetUtilizationRates(self) -> dict:
+        """GPU/memory utilization percentages, NVML-style."""
+        self._check()
+        if self._last_sample is None:
+            return {"gpu": 0, "memory": 0}
+        return {
+            "gpu": int(round(self._last_sample.gpu_busy * 100)),
+            "memory": int(round(self._last_sample.memory_util * 100)),
+        }

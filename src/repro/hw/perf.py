@@ -1,0 +1,151 @@
+"""Roofline latency model.
+
+Each operator is characterized by its FLOP count and memory traffic; at a
+given GPU frequency its execution time is the larger of its compute time
+and its memory time (plus a fixed kernel-launch overhead):
+
+    t_compute = flops / (flops_per_cycle * f * efficiency(category))
+    t_memory  = bytes / bandwidth(f)
+    t         = max(t_compute, t_memory) + t_launch
+
+Compute-bound operators therefore scale inversely with frequency while
+memory-bound ones barely move — the asymmetry that makes per-block DVFS
+profitable and that the depthwise feature extractor's 'arithmetic
+intensity' feature captures.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph import Graph, node_metrics
+from repro.graph.graph import Node
+from repro.hw.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class OpWork:
+    """Frequency-independent workload description of one operator."""
+
+    name: str
+    category: str
+    flops: float
+    mem_bytes: float
+
+    def scaled(self, batch_size: int) -> "OpWork":
+        return OpWork(self.name, self.category,
+                      self.flops * batch_size, self.mem_bytes * batch_size)
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Execution-time decomposition of one operator at one frequency.
+
+    ``effective_bytes`` is the actual DRAM traffic (analytic minimum
+    inflated by the platform's achieved-intensity cap); the power model
+    charges DRAM energy on it.
+    """
+
+    duration: float
+    compute_time: float
+    memory_time: float
+    effective_bytes: float = 0.0
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the duration the compute pipes are active."""
+        if self.duration <= 0:
+            return 0.0
+        return min(1.0, self.compute_time / self.duration)
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of the duration the memory pipes are active."""
+        if self.duration <= 0:
+            return 0.0
+        return min(1.0, self.memory_time / self.duration)
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_time >= self.memory_time
+
+
+class LatencyModel:
+    """Maps (operator workload, frequency) to execution time on a
+    platform, with per-graph workload caching."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+        # Keyed by id(graph) but guarded by a weak reference: ids are
+        # recycled after garbage collection, so a hit only counts when
+        # the weakly referenced graph is still the same object.
+        self._work_cache: Dict[int, Tuple[weakref.ref, List[OpWork]]] = {}
+
+    # ------------------------------------------------------------------
+    def op_work(self, graph: Graph, node: Node) -> OpWork:
+        """Workload record for one node (per batch element)."""
+        m = node_metrics(graph, node)
+        return OpWork(
+            name=node.name,
+            category=node.category.value,
+            flops=m.flops,
+            mem_bytes=m.mem_elements * self.platform.dtype_bytes,
+        )
+
+    def graph_work(self, graph: Graph) -> List[OpWork]:
+        """Per-batch-element workload of every compute node, cached by
+        graph identity."""
+        key = id(graph)
+        hit = self._work_cache.get(key)
+        if hit is not None and hit[0]() is graph:
+            return hit[1]
+        works = [self.op_work(graph, n) for n in graph.compute_nodes()]
+        self._work_cache[key] = (weakref.ref(graph), works)
+        return works
+
+    # ------------------------------------------------------------------
+    def effective_bytes(self, work: OpWork, batch_size: int = 1) -> float:
+        """DRAM traffic under the achieved-traffic model:
+        ``amp * analytic_bytes + flops / cap``."""
+        p = self.platform
+        cap = p.intensity_caps.get(work.category, 1.0)
+        amp = p.traffic_amplification.get(work.category, 1.0)
+        analytic = work.mem_bytes * batch_size
+        streaming = (work.flops * batch_size / cap) if cap > 0 else 0.0
+        return amp * analytic + streaming
+
+    def time_of(self, work: OpWork, freq: float,
+                batch_size: int = 1) -> OpTiming:
+        """Roofline execution time of ``work`` at GPU frequency ``freq``."""
+        p = self.platform
+        eff = p.op_efficiency.get(work.category, 0.2)
+        peak = p.flops_per_cycle * freq * eff
+        t_compute = (work.flops * batch_size) / peak if peak > 0 else 0.0
+        bw = p.bandwidth_at(freq)
+        bytes_moved = self.effective_bytes(work, batch_size)
+        t_memory = bytes_moved / bw if bw > 0 else 0.0
+        duration = max(t_compute, t_memory) + p.kernel_launch_s
+        return OpTiming(duration, t_compute, t_memory, bytes_moved)
+
+    def time_at_level(self, work: OpWork, level: int,
+                      batch_size: int = 1) -> OpTiming:
+        return self.time_of(work, self.platform.freq_of_level(level),
+                            batch_size)
+
+    def graph_time(self, graph: Graph, level: int,
+                   batch_size: int = 1) -> float:
+        """Total sequential execution time of a graph at a fixed level."""
+        freq = self.platform.freq_of_level(level)
+        return sum(
+            self.time_of(w, freq, batch_size).duration
+            for w in self.graph_work(graph)
+        )
+
+    def cpu_time(self, cpu_ops: float, cpu_freq: float) -> float:
+        """Host-side time for ``cpu_ops`` scalar operations."""
+        rate = self.platform.cpu.ops_per_cycle * cpu_freq
+        if rate <= 0:
+            return 0.0
+        return cpu_ops / rate

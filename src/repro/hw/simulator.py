@@ -1,0 +1,394 @@
+"""Discrete-event inference simulator with pluggable DVFS governors.
+
+The simulator executes inference jobs the way the paper's testbed does:
+each batch is a CPU preprocessing stage (image decode/resize) followed by
+the GPU operator sequence of the network.  Execution is piecewise
+constant in (frequency, power); reactive governors observe sampled
+telemetry windows and may retarget the GPU level at window boundaries,
+while PowerLens-style governors retarget at operator boundaries
+(instrumentation points).  Energy is integrated exactly over segments.
+
+DVFS actuation cost model (see :mod:`repro.hw.dvfs`): the GPU stalls for
+``dvfs_stall_s`` and the host CPU stays busy for ``dvfs_latency_s`` after
+each switch; during that window CPU power is charged at its busy level.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph import Graph
+from repro.hw.dvfs import DVFSController
+from repro.hw.perf import LatencyModel, OpWork
+from repro.hw.platform import PlatformSpec
+from repro.hw.power import PowerModel
+from repro.hw.thermal import ThermalConfig, ThermalState
+from repro.hw.telemetry import (
+    KIND_CPU,
+    KIND_GPU_OP,
+    KIND_IDLE,
+    KIND_SWITCH,
+    EnergyReport,
+    TelemetrySample,
+    Trace,
+    TraceSegment,
+    report_from_trace,
+)
+
+
+@dataclass(frozen=True)
+class InferenceJob:
+    """One inference task: ``n_batches`` batches of ``batch_size`` images
+    through ``graph``, each preceded by CPU preprocessing."""
+
+    graph: Graph
+    batch_size: int = 16
+    n_batches: int = 1
+    cpu_work_per_image: float = 1.2e8
+    name: str = ""
+
+    @property
+    def images(self) -> int:
+        return self.batch_size * self.n_batches
+
+    def label(self) -> str:
+        return self.name or self.graph.name
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run."""
+
+    report: EnergyReport
+    trace: Trace
+    samples: List[TelemetrySample]
+    switch_count: int
+    reversal_count: int
+    per_job: List[EnergyReport] = field(default_factory=list)
+    peak_temperature: float = 0.0
+    throttle_time: float = 0.0
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.report.energy_efficiency
+
+
+class _SampleWindow:
+    """Accumulates window statistics between sampling boundaries."""
+
+    __slots__ = ("busy_gpu", "busy_cpu", "cu", "mu", "gpu_e", "cpu_e",
+                 "total_e", "start")
+
+    def __init__(self, start: float) -> None:
+        self.start = start
+        self.busy_gpu = 0.0
+        self.busy_cpu = 0.0
+        self.cu = 0.0
+        self.mu = 0.0
+        self.gpu_e = 0.0
+        self.cpu_e = 0.0
+        self.total_e = 0.0
+
+    def add(self, seg: TraceSegment) -> None:
+        dt = seg.duration
+        if seg.kind == KIND_GPU_OP:
+            self.busy_gpu += dt
+        if seg.kind == KIND_CPU:
+            self.busy_cpu += dt
+        self.cu += seg.compute_util * dt
+        self.mu += seg.memory_util * dt
+        self.gpu_e += seg.gpu_power * dt
+        self.cpu_e += seg.cpu_power * dt
+        self.total_e += seg.total_power * dt
+
+
+class InferenceSimulator:
+    """Runs inference jobs on a platform under a governor.
+
+    Parameters
+    ----------
+    platform:
+        Hardware model to execute on.
+    sample_period:
+        Telemetry window length in seconds (what reactive governors see).
+    noise_std:
+        Multiplicative lognormal-ish noise on operator durations,
+        modelling run-to-run variation of the testbed ("each energy
+        efficiency test is run 50 times on randomized inputs").
+    keep_trace / keep_samples:
+        Retain full segment/sample lists (disable for long task flows).
+    """
+
+    def __init__(self, platform: PlatformSpec, sample_period: float = 0.02,
+                 noise_std: float = 0.0, seed: int = 0,
+                 keep_trace: bool = True, keep_samples: bool = True,
+                 thermal: Optional[ThermalConfig] = None) -> None:
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        self.platform = platform
+        self.sample_period = sample_period
+        self.noise_std = noise_std
+        self.keep_trace = keep_trace
+        self.keep_samples = keep_samples
+        self.thermal_config = thermal
+        self.latency = LatencyModel(platform)
+        self.power = PowerModel(platform)
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[InferenceJob], governor) -> SimulationResult:
+        """Execute ``jobs`` sequentially under ``governor``."""
+        platform = self.platform
+        self._governor = governor
+        governor.reset(platform)
+        dvfs = DVFSController(platform,
+                              level=governor.initial_gpu_level())
+        cpu_policy = getattr(governor, "cpu_policy", "ondemand")
+        cpu_level = self._initial_cpu_level(cpu_policy)
+
+        state = _RunState(
+            trace=Trace(keep_segments=self.keep_trace),
+            dvfs=dvfs,
+            cpu_level=cpu_level,
+            cpu_policy=cpu_policy,
+            window=_SampleWindow(0.0),
+            next_sample=self.sample_period,
+            thermal=(ThermalState.initial(self.thermal_config)
+                     if self.thermal_config else None),
+        )
+        samples: List[TelemetrySample] = []
+        per_job: List[EnergyReport] = []
+
+        for job_idx, job in enumerate(jobs):
+            e0, t0 = state.trace.total_energy, state.trace.total_time
+            level = governor.on_job_start(job_idx, job)
+            if level is not None:
+                self._apply_switch(state, level)
+            works = self.latency.graph_work(job.graph)
+            for _batch in range(job.n_batches):
+                self._run_cpu_phase(state, governor, job, samples)
+                self._run_gpu_phase(state, governor, job, job_idx, works,
+                                    samples)
+            per_job.append(EnergyReport(
+                images=job.images,
+                total_time=state.trace.total_time - t0,
+                total_energy=state.trace.total_energy - e0,
+                gpu_energy=0.0, cpu_energy=0.0, board_energy=0.0,
+                switch_count=0,
+            ))
+
+        images = sum(j.images for j in jobs)
+        report = report_from_trace(state.trace, images)
+        return SimulationResult(
+            report=report,
+            trace=state.trace,
+            samples=samples,
+            switch_count=dvfs.switch_count(),
+            reversal_count=dvfs.reversal_count(),
+            per_job=per_job,
+            peak_temperature=(state.thermal.peak_temperature
+                              if state.thermal else 0.0),
+            throttle_time=(state.thermal.throttle_time
+                           if state.thermal else 0.0),
+        )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _run_cpu_phase(self, state: "_RunState", governor,
+                       job: InferenceJob,
+                       samples: List[TelemetrySample]) -> None:
+        """CPU preprocessing for one batch; GPU idles."""
+        cpu_ops = job.cpu_work_per_image * job.batch_size
+        remaining = cpu_ops
+        while remaining > 1e-9:
+            cpu_freq = self._cpu_freq(state)
+            rate = self.platform.cpu.ops_per_cycle * cpu_freq
+            t_rem = remaining / rate
+            dt = min(t_rem, state.next_sample - state.t)
+            dt = max(dt, 1e-12)
+            gpu_p = self.power.gpu_idle(state.dvfs.freq)
+            cpu_p = self.power.cpu_busy(cpu_freq)
+            self._emit(state, dt, KIND_CPU, gpu_p, cpu_p, 0.0, 0.0,
+                       label=f"{job.label()}:cpu")
+            remaining -= rate * dt
+            self._maybe_sample(state, governor, samples)
+
+    def _run_gpu_phase(self, state: "_RunState", governor,
+                       job: InferenceJob, job_idx: int,
+                       works: Sequence[OpWork],
+                       samples: List[TelemetrySample]) -> None:
+        """GPU operator sequence for one batch."""
+        for op_idx, work in enumerate(works):
+            level = governor.on_op_start(job_idx, op_idx, work)
+            if level is not None:
+                self._apply_switch(state, level)
+            noise = self._noise_factor()
+            remaining = 1.0  # fraction of the op still to execute
+            while remaining > 1e-12:
+                freq = state.dvfs.freq
+                timing = self.latency.time_of(work, freq, job.batch_size)
+                duration = timing.duration * noise
+                t_rem = remaining * duration
+                dt = min(t_rem, state.next_sample - state.t)
+                dt = max(dt, 1e-12)
+                gpu_p = self.power.gpu_busy(freq, timing)
+                cpu_p = self._cpu_power_during_gpu(state)
+                self._emit(state, dt, KIND_GPU_OP, gpu_p, cpu_p,
+                           timing.compute_utilization,
+                           timing.memory_utilization,
+                           label=work.name)
+                remaining -= dt / duration
+                changed = self._maybe_sample(state, governor, samples)
+                if changed:
+                    # Frequency changed mid-op: recompute with the work
+                    # fraction that remains.
+                    continue
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _emit(self, state: "_RunState", dt: float, kind: str,
+              gpu_p: float, cpu_p: float, cu: float, mu: float,
+              label: str = "") -> None:
+        if state.thermal is not None:
+            # Temperature-dependent leakage rides on top of the nominal
+            # static power; integrate the die forward over this segment.
+            mult = state.thermal.leakage_multiplier()
+            extra = self.power.gpu_static(state.dvfs.freq) * (mult - 1.0)
+            gpu_p += extra
+            state.thermal.advance(
+                gpu_p + cpu_p + self.platform.board_power, dt)
+        seg = TraceSegment(
+            t_start=state.t,
+            t_end=state.t + dt,
+            kind=kind,
+            gpu_level=state.dvfs.level,
+            gpu_power=gpu_p,
+            cpu_power=cpu_p,
+            board_power=self.platform.board_power,
+            compute_util=cu,
+            memory_util=mu,
+            label=label,
+        )
+        state.trace.append(seg)
+        state.window.add(seg)
+        state.t += dt
+
+    def _maybe_sample(self, state: "_RunState", governor,
+                      samples: List[TelemetrySample]) -> bool:
+        """Close the telemetry window if we reached its boundary; let the
+        governor react.  Returns True when the GPU level changed."""
+        if state.t < state.next_sample - 1e-12:
+            return False
+        w = state.window
+        period = state.t - w.start
+        if period <= 0:
+            period = self.sample_period
+        sample = TelemetrySample(
+            t=state.t,
+            period=period,
+            gpu_level=state.dvfs.level,
+            gpu_busy=min(1.0, w.busy_gpu / period),
+            compute_util=min(1.0, w.cu / period),
+            memory_util=min(1.0, w.mu / period),
+            gpu_power=w.gpu_e / period,
+            cpu_power=w.cpu_e / period,
+            total_power=w.total_e / period,
+            cpu_busy=min(1.0, w.busy_cpu / period),
+            cpu_level=state.cpu_level,
+        )
+        if self.keep_samples:
+            samples.append(sample)
+        self._update_cpu_policy(state, sample)
+        level = governor.on_sample(sample)
+        state.window = _SampleWindow(state.t)
+        state.next_sample = state.t + self.sample_period
+        if state.thermal is not None and state.thermal.update_throttle():
+            # Thermal governor overrides everyone while engaged.
+            cap = self.platform.clamp_level(
+                state.thermal.config.throttle_level)
+            target = min(level, cap) if level is not None else cap
+            if target != state.dvfs.level or state.dvfs.level > cap:
+                return self._apply_switch(state, min(target, cap))
+            return False
+        if level is not None:
+            return self._apply_switch(state, level)
+        return False
+
+    def _apply_switch(self, state: "_RunState", level: int) -> bool:
+        """Actuate a GPU level change, charging stall + CPU command cost."""
+        switch = state.dvfs.request(state.t, level)
+        if switch is None:
+            return False
+        stall = self.platform.dvfs_stall_s
+        if stall > 0:
+            gpu_p = self.power.gpu_idle(state.dvfs.freq)
+            cpu_p = self.power.cpu_busy(self._cpu_freq(state))
+            self._emit(state, stall, KIND_SWITCH, gpu_p, cpu_p, 0.0, 0.0,
+                       label=f"dvfs:{switch.from_level}->{switch.to_level}")
+        # Host stays busy issuing the command for dvfs_cpu_busy_s.
+        state.cpu_busy_until = max(
+            state.cpu_busy_until,
+            state.t + self.platform.dvfs_cpu_busy_s,
+        )
+        return True
+
+    def _cpu_power_during_gpu(self, state: "_RunState") -> float:
+        freq = self._cpu_freq(state)
+        if state.t < state.cpu_busy_until:
+            return self.power.cpu_busy(freq)
+        return self.power.cpu_idle(freq)
+
+    def _cpu_freq(self, state: "_RunState") -> float:
+        return self.platform.cpu.freq_levels[state.cpu_level]
+
+    def _initial_cpu_level(self, policy: str) -> int:
+        ladder = self.platform.cpu.freq_levels
+        if policy == "max":
+            return len(ladder) - 1
+        if policy == "efficient":
+            return max(0, int(round(0.7 * (len(ladder) - 1))))
+        if policy == "plan":
+            return len(ladder) - 1  # replaced at the first sample
+        return len(ladder) - 1  # ondemand starts high under load
+
+    def _update_cpu_policy(self, state: "_RunState",
+                           sample: TelemetrySample) -> None:
+        """Host cluster governor: ondemand ramps with utilization; the
+        'efficient' policy (FPG-C+G) pins a mid-ladder level."""
+        n = len(self.platform.cpu.freq_levels)
+        if state.cpu_policy == "plan":
+            planned = getattr(self._governor, "planned_cpu_level", None)
+            if planned is not None:
+                state.cpu_level = max(0, min(n - 1, planned))
+            return
+        if state.cpu_policy == "ondemand":
+            if sample.cpu_busy > 0.6:
+                state.cpu_level = n - 1
+            elif sample.cpu_busy < 0.1:
+                state.cpu_level = max(0, state.cpu_level - 2)
+        elif state.cpu_policy == "efficient":
+            state.cpu_level = max(0, int(round(0.7 * (n - 1))))
+        elif state.cpu_policy == "max":
+            state.cpu_level = n - 1
+
+    def _noise_factor(self) -> float:
+        if self.noise_std <= 0:
+            return 1.0
+        return max(0.5, self._rng.gauss(1.0, self.noise_std))
+
+
+@dataclass
+class _RunState:
+    trace: Trace
+    dvfs: DVFSController
+    cpu_level: int
+    cpu_policy: str
+    window: _SampleWindow
+    next_sample: float
+    t: float = 0.0
+    cpu_busy_until: float = 0.0
+    thermal: Optional[ThermalState] = None

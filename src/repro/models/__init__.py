@@ -1,0 +1,26 @@
+"""Model zoo: from-scratch graph definitions of the networks the paper
+evaluates (Table 1), plus the random-DNN generator used to synthesize the
+prediction-model training corpus (section 2.2).
+
+All definitions mirror the torchvision architectures the paper deploys
+(torchvision 0.12 era) at the metadata level: layer sequence, channel
+counts, kernel sizes, strides, groups, attention heads.  PowerLens only
+ever reads this metadata, so weight-level fidelity is not required.
+"""
+
+from repro.models.zoo import (
+    build_model,
+    list_models,
+    register_model,
+    PAPER_MODELS,
+)
+from repro.models.random_gen import RandomDNNGenerator, RandomDNNConfig
+
+__all__ = [
+    "build_model",
+    "list_models",
+    "register_model",
+    "PAPER_MODELS",
+    "RandomDNNGenerator",
+    "RandomDNNConfig",
+]

@@ -1,0 +1,39 @@
+"""AlexNet (torchvision layout: no LRN, adaptive average pooling)."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def alexnet(num_classes: int = 1000) -> Graph:
+    """Build AlexNet.
+
+    Five convolutional layers with in-place ReLUs and three max-pools,
+    followed by the classic 4096-4096 classifier head.  The smallest
+    network in the paper's suite — it clusters to a single power block.
+    """
+    b = GraphBuilder("alexnet")
+    x = b.input((3, 224, 224))
+    x = b.conv(x, 64, kernel=11, stride=4, padding=2)
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2)
+    x = b.conv(x, 192, kernel=5, padding=2)
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2)
+    x = b.conv(x, 384, kernel=3, padding=1)
+    x = b.relu(x)
+    x = b.conv(x, 256, kernel=3, padding=1)
+    x = b.relu(x)
+    x = b.conv(x, 256, kernel=3, padding=1)
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2)
+    x = b.adaptive_avgpool(x, 6)
+    x = b.flatten(x)
+    x = b.dropout(x)
+    x = b.linear(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.linear(x, 4096)
+    x = b.relu(x)
+    b.linear(x, num_classes)
+    return b.build()

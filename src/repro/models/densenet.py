@@ -1,0 +1,71 @@
+"""DenseNet family (torchvision layout).
+
+Dense connectivity is expressed with an incrementally grown concat: each
+dense layer consumes the running concatenation of the block's features and
+appends ``growth_rate`` new channels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _dense_layer(b: GraphBuilder, x: str, growth_rate: int,
+                 bn_size: int = 4) -> str:
+    """BN -> ReLU -> 1x1 conv (bottleneck) -> BN -> ReLU -> 3x3 conv."""
+    out = b.batchnorm(x)
+    out = b.relu(out)
+    out = b.conv(out, bn_size * growth_rate, kernel=1, bias=False)
+    out = b.batchnorm(out)
+    out = b.relu(out)
+    out = b.conv(out, growth_rate, kernel=3, padding=1, bias=False)
+    return out
+
+
+def _transition(b: GraphBuilder, x: str) -> str:
+    """BN -> ReLU -> 1x1 conv (halving channels) -> 2x2 avg-pool."""
+    channels = b.shape(x)[0]
+    out = b.batchnorm(x)
+    out = b.relu(out)
+    out = b.conv(out, channels // 2, kernel=1, bias=False)
+    return b.avgpool(out, kernel=2, stride=2)
+
+
+def _densenet(name: str, block_config: List[int], growth_rate: int,
+              num_init_features: int, num_classes: int) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input((3, 224, 224))
+    x = b.conv(x, num_init_features, kernel=7, stride=2, padding=3,
+               bias=False)
+    x = b.batchnorm(x)
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2, padding=1)
+    for stage, num_layers in enumerate(block_config):
+        for _ in range(num_layers):
+            new = _dense_layer(b, x, growth_rate)
+            x = b.concat([x, new])
+        if stage != len(block_config) - 1:
+            x = _transition(b, x)
+    x = b.batchnorm(x)
+    x = b.relu(x)
+    x = b.adaptive_avgpool(x, 1)
+    x = b.flatten(x)
+    b.linear(x, num_classes)
+    return b.build()
+
+
+def densenet121(num_classes: int = 1000) -> Graph:
+    """DenseNet-121 ([6, 12, 24, 16], growth 32)."""
+    return _densenet("densenet121", [6, 12, 24, 16], 32, 64, num_classes)
+
+
+def densenet169(num_classes: int = 1000) -> Graph:
+    """DenseNet-169 ([6, 12, 32, 32], growth 32)."""
+    return _densenet("densenet169", [6, 12, 32, 32], 32, 64, num_classes)
+
+
+def densenet201(num_classes: int = 1000) -> Graph:
+    """DenseNet-201 ([6, 12, 48, 32], growth 32) — Table 1 model."""
+    return _densenet("densenet201", [6, 12, 48, 32], 32, 64, num_classes)

@@ -1,0 +1,55 @@
+"""GoogLeNet / Inception-v1 (torchvision layout: BasicConv2d = conv+BN+ReLU,
+3x3 in place of the original 5x5 branch, no auxiliary classifiers at
+inference, no LRN)."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _basic_conv(b: GraphBuilder, x: str, out_channels: int, kernel: int,
+                stride: int = 1, padding: int = 0) -> str:
+    x = b.conv(x, out_channels, kernel=kernel, stride=stride,
+               padding=padding, bias=False)
+    x = b.batchnorm(x)
+    return b.relu(x)
+
+
+def _inception(b: GraphBuilder, x: str, ch1x1: int, ch3x3red: int,
+               ch3x3: int, ch5x5red: int, ch5x5: int, pool_proj: int) -> str:
+    """Four-branch inception module, concatenated along channels."""
+    branch1 = _basic_conv(b, x, ch1x1, 1)
+    branch2 = _basic_conv(b, x, ch3x3red, 1)
+    branch2 = _basic_conv(b, branch2, ch3x3, 3, padding=1)
+    branch3 = _basic_conv(b, x, ch5x5red, 1)
+    branch3 = _basic_conv(b, branch3, ch5x5, 3, padding=1)
+    branch4 = b.maxpool(x, kernel=3, stride=1, padding=1, ceil_mode=True)
+    branch4 = _basic_conv(b, branch4, pool_proj, 1)
+    return b.concat([branch1, branch2, branch3, branch4])
+
+
+def googlenet(num_classes: int = 1000) -> Graph:
+    """GoogLeNet — Table 1 model."""
+    b = GraphBuilder("googlenet")
+    x = b.input((3, 224, 224))
+    x = _basic_conv(b, x, 64, 7, stride=2, padding=3)
+    x = b.maxpool(x, kernel=3, stride=2, ceil_mode=True)
+    x = _basic_conv(b, x, 64, 1)
+    x = _basic_conv(b, x, 192, 3, padding=1)
+    x = b.maxpool(x, kernel=3, stride=2, ceil_mode=True)
+    x = _inception(b, x, 64, 96, 128, 16, 32, 32)      # 3a
+    x = _inception(b, x, 128, 128, 192, 32, 96, 64)    # 3b
+    x = b.maxpool(x, kernel=3, stride=2, ceil_mode=True)
+    x = _inception(b, x, 192, 96, 208, 16, 48, 64)     # 4a
+    x = _inception(b, x, 160, 112, 224, 24, 64, 64)    # 4b
+    x = _inception(b, x, 128, 128, 256, 24, 64, 64)    # 4c
+    x = _inception(b, x, 112, 144, 288, 32, 64, 64)    # 4d
+    x = _inception(b, x, 256, 160, 320, 32, 128, 128)  # 4e
+    x = b.maxpool(x, kernel=2, stride=2, ceil_mode=True)
+    x = _inception(b, x, 256, 160, 320, 32, 128, 128)  # 5a
+    x = _inception(b, x, 384, 192, 384, 48, 128, 128)  # 5b
+    x = b.adaptive_avgpool(x, 1)
+    x = b.flatten(x)
+    x = b.dropout(x, p=0.2)
+    b.linear(x, num_classes)
+    return b.build()

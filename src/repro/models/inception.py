@@ -1,0 +1,110 @@
+"""Inception v3 (torchvision layout, 299x299 input, no aux classifier).
+
+Exercises parts of the IR nothing else does: asymmetric 1x7/7x1
+convolutions, parallel pooled branches inside modules, and three
+different reduction-module designs.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _conv(b: GraphBuilder, x: str, out_ch: int, kernel, stride=1,
+          padding=0) -> str:
+    x = b.conv(x, out_ch, kernel=kernel, stride=stride, padding=padding,
+               bias=False)
+    x = b.batchnorm(x)
+    return b.relu(x)
+
+
+def _inception_a(b: GraphBuilder, x: str, pool_features: int) -> str:
+    br1 = _conv(b, x, 64, 1)
+    br5 = _conv(b, x, 48, 1)
+    br5 = _conv(b, br5, 64, 5, padding=2)
+    br3 = _conv(b, x, 64, 1)
+    br3 = _conv(b, br3, 96, 3, padding=1)
+    br3 = _conv(b, br3, 96, 3, padding=1)
+    brp = b.avgpool(x, kernel=3, stride=1, padding=1)
+    brp = _conv(b, brp, pool_features, 1)
+    return b.concat([br1, br5, br3, brp])
+
+
+def _inception_b(b: GraphBuilder, x: str) -> str:
+    br3 = _conv(b, x, 384, 3, stride=2)
+    brd = _conv(b, x, 64, 1)
+    brd = _conv(b, brd, 96, 3, padding=1)
+    brd = _conv(b, brd, 96, 3, stride=2)
+    brp = b.maxpool(x, kernel=3, stride=2)
+    return b.concat([br3, brd, brp])
+
+
+def _inception_c(b: GraphBuilder, x: str, c7: int) -> str:
+    br1 = _conv(b, x, 192, 1)
+    br7 = _conv(b, x, c7, 1)
+    br7 = _conv(b, br7, c7, (1, 7), padding=(0, 3))
+    br7 = _conv(b, br7, 192, (7, 1), padding=(3, 0))
+    brd = _conv(b, x, c7, 1)
+    brd = _conv(b, brd, c7, (7, 1), padding=(3, 0))
+    brd = _conv(b, brd, c7, (1, 7), padding=(0, 3))
+    brd = _conv(b, brd, c7, (7, 1), padding=(3, 0))
+    brd = _conv(b, brd, 192, (1, 7), padding=(0, 3))
+    brp = b.avgpool(x, kernel=3, stride=1, padding=1)
+    brp = _conv(b, brp, 192, 1)
+    return b.concat([br1, br7, brd, brp])
+
+
+def _inception_d(b: GraphBuilder, x: str) -> str:
+    br3 = _conv(b, x, 192, 1)
+    br3 = _conv(b, br3, 320, 3, stride=2)
+    br7 = _conv(b, x, 192, 1)
+    br7 = _conv(b, br7, 192, (1, 7), padding=(0, 3))
+    br7 = _conv(b, br7, 192, (7, 1), padding=(3, 0))
+    br7 = _conv(b, br7, 192, 3, stride=2)
+    brp = b.maxpool(x, kernel=3, stride=2)
+    return b.concat([br3, br7, brp])
+
+
+def _inception_e(b: GraphBuilder, x: str) -> str:
+    br1 = _conv(b, x, 320, 1)
+    br3 = _conv(b, x, 384, 1)
+    br3a = _conv(b, br3, 384, (1, 3), padding=(0, 1))
+    br3b = _conv(b, br3, 384, (3, 1), padding=(1, 0))
+    br3 = b.concat([br3a, br3b])
+    brd = _conv(b, x, 448, 1)
+    brd = _conv(b, brd, 384, 3, padding=1)
+    brda = _conv(b, brd, 384, (1, 3), padding=(0, 1))
+    brdb = _conv(b, brd, 384, (3, 1), padding=(1, 0))
+    brd = b.concat([brda, brdb])
+    brp = b.avgpool(x, kernel=3, stride=1, padding=1)
+    brp = _conv(b, brp, 192, 1)
+    return b.concat([br1, br3, brd, brp])
+
+
+def inception_v3(num_classes: int = 1000) -> Graph:
+    """Inception v3 at its native 299x299 resolution."""
+    b = GraphBuilder("inception_v3")
+    x = b.input((3, 299, 299))
+    x = _conv(b, x, 32, 3, stride=2)
+    x = _conv(b, x, 32, 3)
+    x = _conv(b, x, 64, 3, padding=1)
+    x = b.maxpool(x, kernel=3, stride=2)
+    x = _conv(b, x, 80, 1)
+    x = _conv(b, x, 192, 3)
+    x = b.maxpool(x, kernel=3, stride=2)
+    x = _inception_a(b, x, 32)
+    x = _inception_a(b, x, 64)
+    x = _inception_a(b, x, 64)
+    x = _inception_b(b, x)
+    x = _inception_c(b, x, 128)
+    x = _inception_c(b, x, 160)
+    x = _inception_c(b, x, 160)
+    x = _inception_c(b, x, 192)
+    x = _inception_d(b, x)
+    x = _inception_e(b, x)
+    x = _inception_e(b, x)
+    x = b.adaptive_avgpool(x, 1)
+    x = b.flatten(x)
+    x = b.dropout(x)
+    b.linear(x, num_classes)
+    return b.build()

@@ -1,0 +1,113 @@
+"""MobileNetV3 (large and small), torchvision layout.
+
+Inverted residual blocks with optional squeeze-excitation, hard-swish
+activations in the deeper half, and the 1280-d hard-swish classifier head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph import Graph, GraphBuilder
+from repro.graph.ops import OpType
+
+
+def make_divisible(value: float, divisor: int = 8) -> int:
+    """Round ``value`` to the nearest multiple of ``divisor`` without
+    dropping below 90% of the original (standard MobileNet helper)."""
+    new_value = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+@dataclass(frozen=True)
+class _IRSetting:
+    kernel: int
+    expanded: int
+    out: int
+    use_se: bool
+    use_hs: bool
+    stride: int
+
+
+_LARGE: List[_IRSetting] = [
+    _IRSetting(3, 16, 16, False, False, 1),
+    _IRSetting(3, 64, 24, False, False, 2),
+    _IRSetting(3, 72, 24, False, False, 1),
+    _IRSetting(5, 72, 40, True, False, 2),
+    _IRSetting(5, 120, 40, True, False, 1),
+    _IRSetting(5, 120, 40, True, False, 1),
+    _IRSetting(3, 240, 80, False, True, 2),
+    _IRSetting(3, 200, 80, False, True, 1),
+    _IRSetting(3, 184, 80, False, True, 1),
+    _IRSetting(3, 184, 80, False, True, 1),
+    _IRSetting(3, 480, 112, True, True, 1),
+    _IRSetting(3, 672, 112, True, True, 1),
+    _IRSetting(5, 672, 160, True, True, 2),
+    _IRSetting(5, 960, 160, True, True, 1),
+    _IRSetting(5, 960, 160, True, True, 1),
+]
+
+_SMALL: List[_IRSetting] = [
+    _IRSetting(3, 16, 16, True, False, 2),
+    _IRSetting(3, 72, 24, False, False, 2),
+    _IRSetting(3, 88, 24, False, False, 1),
+    _IRSetting(5, 96, 40, True, True, 2),
+    _IRSetting(5, 240, 40, True, True, 1),
+    _IRSetting(5, 240, 40, True, True, 1),
+    _IRSetting(5, 120, 48, True, True, 1),
+    _IRSetting(5, 144, 48, True, True, 1),
+    _IRSetting(5, 288, 96, True, True, 2),
+    _IRSetting(5, 576, 96, True, True, 1),
+    _IRSetting(5, 576, 96, True, True, 1),
+]
+
+
+def _inverted_residual(b: GraphBuilder, x: str, cfg: _IRSetting) -> str:
+    in_channels = b.shape(x)[0]
+    act = OpType.HARDSWISH if cfg.use_hs else OpType.RELU
+    identity = x
+    out = x
+    if cfg.expanded != in_channels:
+        out = b.conv_bn_act(out, cfg.expanded, kernel=1, act=act)
+    out = b.conv_bn_act(out, cfg.expanded, kernel=cfg.kernel,
+                        stride=cfg.stride, padding=cfg.kernel // 2,
+                        groups=cfg.expanded, act=act)
+    if cfg.use_se:
+        out = b.squeeze_excite(out, make_divisible(cfg.expanded / 4))
+    out = b.conv(out, cfg.out, kernel=1, bias=False)
+    out = b.batchnorm(out)
+    if cfg.stride == 1 and in_channels == cfg.out:
+        out = b.add([out, identity])
+    return out
+
+
+def _mobilenet_v3(name: str, settings: List[_IRSetting],
+                  last_channel: int, num_classes: int) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input((3, 224, 224))
+    x = b.conv_bn_act(x, 16, kernel=3, stride=2, padding=1,
+                      act=OpType.HARDSWISH)
+    for cfg in settings:
+        x = _inverted_residual(b, x, cfg)
+    final_conv = 6 * settings[-1].out
+    x = b.conv_bn_act(x, final_conv, kernel=1, act=OpType.HARDSWISH)
+    x = b.adaptive_avgpool(x, 1)
+    x = b.flatten(x)
+    x = b.linear(x, last_channel)
+    x = b.hardswish(x)
+    x = b.dropout(x, p=0.2)
+    b.linear(x, num_classes)
+    return b.build()
+
+
+def mobilenet_v3_large(num_classes: int = 1000) -> Graph:
+    """MobileNetV3-Large — Table 1 model (listed as 'mobilenet_v3')."""
+    return _mobilenet_v3("mobilenet_v3_large", _LARGE, 1280, num_classes)
+
+
+def mobilenet_v3_small(num_classes: int = 1000) -> Graph:
+    """MobileNetV3-Small."""
+    return _mobilenet_v3("mobilenet_v3_small", _SMALL, 1024, num_classes)

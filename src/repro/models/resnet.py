@@ -1,0 +1,126 @@
+"""ResNet / ResNeXt family.
+
+Covers the paper's resnet34, resnet152 and resnext101_32x8d plus the other
+standard depths for completeness.  Block arithmetic follows torchvision:
+``width = int(planes * base_width / 64) * groups`` for bottlenecks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _basic_block(b: GraphBuilder, x: str, planes: int, stride: int) -> str:
+    """Two 3x3 convs with an identity/projection shortcut."""
+    in_channels = b.shape(x)[0]
+    identity = x
+    out = b.conv(x, planes, kernel=3, stride=stride, padding=1, bias=False)
+    out = b.batchnorm(out)
+    out = b.relu(out)
+    out = b.conv(out, planes, kernel=3, padding=1, bias=False)
+    out = b.batchnorm(out)
+    if stride != 1 or in_channels != planes:
+        identity = b.conv(x, planes, kernel=1, stride=stride, bias=False)
+        identity = b.batchnorm(identity)
+    out = b.add([out, identity])
+    return b.relu(out)
+
+
+def _bottleneck(b: GraphBuilder, x: str, planes: int, stride: int,
+                groups: int, base_width: int, expansion: int = 4) -> str:
+    """1x1 reduce -> 3x3 (grouped) -> 1x1 expand with shortcut."""
+    in_channels = b.shape(x)[0]
+    width = int(planes * base_width / 64) * groups
+    out_channels = planes * expansion
+    identity = x
+    out = b.conv(x, width, kernel=1, bias=False)
+    out = b.batchnorm(out)
+    out = b.relu(out)
+    out = b.conv(out, width, kernel=3, stride=stride, padding=1,
+                 groups=groups, bias=False)
+    out = b.batchnorm(out)
+    out = b.relu(out)
+    out = b.conv(out, out_channels, kernel=1, bias=False)
+    out = b.batchnorm(out)
+    if stride != 1 or in_channels != out_channels:
+        identity = b.conv(x, out_channels, kernel=1, stride=stride,
+                          bias=False)
+        identity = b.batchnorm(identity)
+    out = b.add([out, identity])
+    return b.relu(out)
+
+
+def _resnet(name: str, layers: List[int], bottleneck: bool,
+            num_classes: int, groups: int = 1,
+            base_width: int = 64) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input((3, 224, 224))
+    x = b.conv(x, 64, kernel=7, stride=2, padding=3, bias=False)
+    x = b.batchnorm(x)
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2, padding=1)
+    planes = 64
+    for stage, depth in enumerate(layers):
+        stride = 1 if stage == 0 else 2
+        for i in range(depth):
+            s = stride if i == 0 else 1
+            if bottleneck:
+                x = _bottleneck(b, x, planes, s, groups, base_width)
+            else:
+                x = _basic_block(b, x, planes, s)
+        planes *= 2
+    x = b.adaptive_avgpool(x, 1)
+    x = b.flatten(x)
+    b.linear(x, num_classes)
+    return b.build()
+
+
+def resnet18(num_classes: int = 1000) -> Graph:
+    """ResNet-18 (basic blocks [2, 2, 2, 2])."""
+    return _resnet("resnet18", [2, 2, 2, 2], False, num_classes)
+
+
+def resnet34(num_classes: int = 1000) -> Graph:
+    """ResNet-34 (basic blocks [3, 4, 6, 3]) — Table 1 model."""
+    return _resnet("resnet34", [3, 4, 6, 3], False, num_classes)
+
+
+def resnet50(num_classes: int = 1000) -> Graph:
+    """ResNet-50 (bottlenecks [3, 4, 6, 3])."""
+    return _resnet("resnet50", [3, 4, 6, 3], True, num_classes)
+
+
+def resnet101(num_classes: int = 1000) -> Graph:
+    """ResNet-101 (bottlenecks [3, 4, 23, 3])."""
+    return _resnet("resnet101", [3, 4, 23, 3], True, num_classes)
+
+
+def resnet152(num_classes: int = 1000) -> Graph:
+    """ResNet-152 (bottlenecks [3, 8, 36, 3]) — Table 1 model."""
+    return _resnet("resnet152", [3, 8, 36, 3], True, num_classes)
+
+
+def resnext50_32x4d(num_classes: int = 1000) -> Graph:
+    """ResNeXt-50 32x4d."""
+    return _resnet("resnext50_32x4d", [3, 4, 6, 3], True, num_classes,
+                   groups=32, base_width=4)
+
+
+def resnext101_32x8d(num_classes: int = 1000) -> Graph:
+    """ResNeXt-101 32x8d — Table 1 model (listed as 'resnext101')."""
+    return _resnet("resnext101_32x8d", [3, 4, 23, 3], True, num_classes,
+                   groups=32, base_width=8)
+
+
+def wide_resnet50_2(num_classes: int = 1000) -> Graph:
+    """Wide ResNet-50-2 (doubled bottleneck width)."""
+    return _resnet("wide_resnet50_2", [3, 4, 6, 3], True, num_classes,
+                   base_width=128)
+
+
+def wide_resnet101_2(num_classes: int = 1000) -> Graph:
+    """Wide ResNet-101-2."""
+    return _resnet("wide_resnet101_2", [3, 4, 23, 3], True, num_classes,
+                   base_width=128)

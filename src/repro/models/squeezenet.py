@@ -1,0 +1,43 @@
+"""SqueezeNet 1.1 (fire modules with 1x1 squeeze and mixed expand)."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _fire(b: GraphBuilder, x: str, squeeze: int, expand1: int,
+          expand3: int) -> str:
+    s = b.conv(x, squeeze, kernel=1)
+    s = b.relu(s)
+    e1 = b.conv(s, expand1, kernel=1)
+    e1 = b.relu(e1)
+    e3 = b.conv(s, expand3, kernel=3, padding=1)
+    e3 = b.relu(e3)
+    return b.concat([e1, e3])
+
+
+def squeezenet1_1(num_classes: int = 1000) -> Graph:
+    """SqueezeNet 1.1 — the fully convolutional classifier head makes it
+    an interesting outlier for the power-view clustering (no big
+    memory-bound fc blocks at the end)."""
+    b = GraphBuilder("squeezenet1_1")
+    x = b.input((3, 224, 224))
+    x = b.conv(x, 64, kernel=3, stride=2)
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 16, 64, 64)
+    x = _fire(b, x, 16, 64, 64)
+    x = b.maxpool(x, kernel=3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 32, 128, 128)
+    x = _fire(b, x, 32, 128, 128)
+    x = b.maxpool(x, kernel=3, stride=2, ceil_mode=True)
+    x = _fire(b, x, 48, 192, 192)
+    x = _fire(b, x, 48, 192, 192)
+    x = _fire(b, x, 64, 256, 256)
+    x = _fire(b, x, 64, 256, 256)
+    x = b.dropout(x, p=0.5)
+    x = b.conv(x, num_classes, kernel=1)
+    x = b.relu(x)
+    x = b.adaptive_avgpool(x, 1)
+    b.flatten(x)
+    return b.build()

@@ -1,0 +1,60 @@
+"""VGG family (plain variant, as in torchvision ``vgg11``..``vgg19``)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.graph import Graph, GraphBuilder
+
+# Standard torchvision configurations: numbers are conv output channels,
+# "M" is a 2x2 max-pool.
+_CFGS: Dict[str, List[Union[int, str]]] = {
+    "A": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "B": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M",
+          512, 512, "M"],
+    "D": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512,
+          "M", 512, 512, 512, "M"],
+    "E": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+          512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _vgg(name: str, cfg_key: str, num_classes: int) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input((3, 224, 224))
+    for item in _CFGS[cfg_key]:
+        if item == "M":
+            x = b.maxpool(x, kernel=2, stride=2)
+        else:
+            x = b.conv(x, int(item), kernel=3, padding=1)
+            x = b.relu(x)
+    x = b.adaptive_avgpool(x, 7)
+    x = b.flatten(x)
+    x = b.linear(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.linear(x, 4096)
+    x = b.relu(x)
+    x = b.dropout(x)
+    b.linear(x, num_classes)
+    return b.build()
+
+
+def vgg11(num_classes: int = 1000) -> Graph:
+    """VGG-11 (configuration A)."""
+    return _vgg("vgg11", "A", num_classes)
+
+
+def vgg13(num_classes: int = 1000) -> Graph:
+    """VGG-13 (configuration B)."""
+    return _vgg("vgg13", "B", num_classes)
+
+
+def vgg16(num_classes: int = 1000) -> Graph:
+    """VGG-16 (configuration D)."""
+    return _vgg("vgg16", "D", num_classes)
+
+
+def vgg19(num_classes: int = 1000) -> Graph:
+    """VGG-19 (configuration E) — evaluated in Table 1 of the paper."""
+    return _vgg("vgg19", "E", num_classes)

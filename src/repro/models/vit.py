@@ -1,0 +1,64 @@
+"""Vision Transformers (ViT-B/16, ViT-B/32 and larger variants).
+
+Patch embedding is expressed as a strided convolution followed by
+tokenization; each encoder layer is the standard pre-norm block:
+LN -> MHA -> residual, LN -> MLP(GELU) -> residual.  The paper highlights
+(observation 3, section 3.2.1) that PowerLens merges the repeated
+transformer blocks into one large power block.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _encoder_layer(b: GraphBuilder, x: str, num_heads: int,
+                   mlp_dim: int) -> str:
+    dim = b.shape(x)[-1]
+    attn_in = b.layernorm(x)
+    attn = b.attention(attn_in, num_heads=num_heads)
+    x = b.add([x, attn])
+    mlp_in = b.layernorm(x)
+    h = b.linear(mlp_in, mlp_dim)
+    h = b.gelu(h)
+    h = b.dropout(h, p=0.0)
+    h = b.linear(h, dim)
+    return b.add([x, h])
+
+
+def _vit(name: str, patch: int, depth: int, dim: int, heads: int,
+         mlp_dim: int, num_classes: int, image_size: int = 224) -> Graph:
+    if image_size % patch != 0:
+        raise ValueError(f"image size {image_size} not divisible by patch "
+                         f"{patch}")
+    b = GraphBuilder(name)
+    x = b.input((3, image_size, image_size))
+    x = b.conv(x, dim, kernel=patch, stride=patch)   # patch embedding
+    x = b.tokenize(x)
+    x = b.cls_pos_embed(x)
+    for _ in range(depth):
+        x = _encoder_layer(b, x, heads, mlp_dim)
+    x = b.layernorm(x)
+    x = b.select_token(x, 0)
+    b.linear(x, num_classes)
+    return b.build()
+
+
+def vit_b_16(num_classes: int = 1000) -> Graph:
+    """ViT-Base/16 — Table 1 model (listed as 'vit_base_16')."""
+    return _vit("vit_b_16", 16, 12, 768, 12, 3072, num_classes)
+
+
+def vit_b_32(num_classes: int = 1000) -> Graph:
+    """ViT-Base/32 — Table 1 model (listed as 'vit_base_32')."""
+    return _vit("vit_b_32", 32, 12, 768, 12, 3072, num_classes)
+
+
+def vit_l_16(num_classes: int = 1000) -> Graph:
+    """ViT-Large/16."""
+    return _vit("vit_l_16", 16, 24, 1024, 16, 4096, num_classes)
+
+
+def vit_l_32(num_classes: int = 1000) -> Graph:
+    """ViT-Large/32."""
+    return _vit("vit_l_32", 32, 24, 1024, 16, 4096, num_classes)

@@ -1,0 +1,115 @@
+"""Model registry.
+
+``build_model(name)`` constructs any registered architecture by name.
+``PAPER_MODELS`` lists, in Table 1 order, the names the paper evaluates
+(mapped to their precise torchvision identities).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph import Graph
+
+from repro.models.alexnet import alexnet
+from repro.models.densenet import densenet121, densenet169, densenet201
+from repro.models.googlenet import googlenet
+from repro.models.inception import inception_v3
+from repro.models.mobilenet import mobilenet_v3_large, mobilenet_v3_small
+from repro.models.regnet import (
+    regnet_x_32gf,
+    regnet_x_400mf,
+    regnet_x_8gf,
+    regnet_y_128gf,
+    regnet_y_400mf,
+    regnet_y_8gf,
+)
+from repro.models.efficientnet import (
+    efficientnet_b0,
+    efficientnet_b1,
+    efficientnet_b2,
+    efficientnet_b3,
+    efficientnet_b4,
+)
+from repro.models.resnet import (
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    resnet152,
+    resnext50_32x4d,
+    resnext101_32x8d,
+    wide_resnet50_2,
+    wide_resnet101_2,
+)
+from repro.models.squeezenet import squeezenet1_1
+from repro.models.vgg import vgg11, vgg13, vgg16, vgg19
+from repro.models.vit import vit_b_16, vit_b_32, vit_l_16, vit_l_32
+
+_REGISTRY: Dict[str, Callable[..., Graph]] = {}
+
+
+def register_model(name: str, factory: Callable[..., Graph]) -> None:
+    """Register a model factory under ``name`` (overwrites silently so
+    user code can shadow zoo entries in experiments)."""
+    _REGISTRY[name] = factory
+
+
+def list_models() -> List[str]:
+    """Sorted names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, num_classes: int = 1000) -> Graph:
+    """Construct the named model; raises ``KeyError`` with the available
+    names when the model is unknown."""
+    # Aliases used by the paper's tables.
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(list_models())}"
+        )
+    return _REGISTRY[canonical](num_classes=num_classes)
+
+
+_ALIASES = {
+    "mobilenet_v3": "mobilenet_v3_large",
+    "resnext101": "resnext101_32x8d",
+    "vit_base_16": "vit_b_16",
+    "vit_base_32": "vit_b_32",
+}
+
+for _factory in (
+    alexnet,
+    googlenet,
+    inception_v3,
+    vgg11, vgg13, vgg16, vgg19,
+    mobilenet_v3_large, mobilenet_v3_small,
+    densenet121, densenet169, densenet201,
+    resnet18, resnet34, resnet50, resnet101, resnet152,
+    resnext50_32x4d, resnext101_32x8d,
+    wide_resnet50_2, wide_resnet101_2,
+    efficientnet_b0, efficientnet_b1, efficientnet_b2, efficientnet_b3,
+    efficientnet_b4,
+    squeezenet1_1,
+    regnet_x_400mf, regnet_x_8gf, regnet_x_32gf,
+    regnet_y_400mf, regnet_y_8gf, regnet_y_128gf,
+    vit_b_16, vit_b_32, vit_l_16, vit_l_32,
+):
+    register_model(_factory.__name__, _factory)
+
+#: The 12 networks of Table 1, in the paper's row order (paper aliases).
+PAPER_MODELS: List[str] = [
+    "alexnet",
+    "googlenet",
+    "vgg19",
+    "mobilenet_v3",
+    "densenet201",
+    "resnext101",
+    "resnet34",
+    "resnet152",
+    "regnet_x_32gf",
+    "regnet_y_128gf",
+    "vit_base_16",
+    "vit_base_32",
+]

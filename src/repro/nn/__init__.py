@@ -1,0 +1,51 @@
+"""Minimal numpy neural-network framework.
+
+The paper trains two small MLP classifiers (Figures 3 and 4): the
+clustering hyper-parameter prediction model — a two-stage network where
+macro *structural* features enter at the input and aggregate *statistics*
+features are injected mid-network — and the per-block target-frequency
+decision model.  This package provides exactly the machinery those models
+need: dense/activation/dropout/batch-norm layers with hand-written
+backprop, softmax cross-entropy, SGD/Adam, a two-branch module mirroring
+Figure 3, a training loop with early stopping, and feature scaling.
+"""
+
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    ReLU,
+    Tanh,
+    Dropout,
+    BatchNorm1d,
+)
+from repro.nn.losses import SoftmaxCrossEntropy, MSELoss, softmax
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.model import Sequential, TwoBranchMLP
+from repro.nn.data import StandardScaler, split_indices, iterate_minibatches
+from repro.nn.training import Trainer, TrainingHistory
+from repro.nn.metrics import accuracy, within_k_accuracy, confusion_matrix
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "BatchNorm1d",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "softmax",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "Sequential",
+    "TwoBranchMLP",
+    "StandardScaler",
+    "split_indices",
+    "iterate_minibatches",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy",
+    "within_k_accuracy",
+    "confusion_matrix",
+]

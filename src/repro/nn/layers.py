@@ -1,0 +1,176 @@
+"""Layers with explicit forward/backward passes.
+
+Every layer caches what its backward pass needs during forward; call
+``forward`` then ``backward`` in matching pairs.  Parameters and their
+gradients are exposed as parallel lists for the optimizers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: stateless identity."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+    def params(self) -> List[np.ndarray]:
+        return []
+
+    def grads(self) -> List[np.ndarray]:
+        return []
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with He-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        bound = np.sqrt(6.0 / in_features)
+        self.W = rng.uniform(-bound, bound,
+                             size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: Optional[np.ndarray] = None
+
+    @property
+    def in_features(self) -> int:
+        return self.W.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.W.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward"
+        self.dW[...] = self._x.T @ grad
+        self.db[...] = grad.sum(axis=0)
+        return grad @ self.W.T
+
+    def params(self) -> List[np.ndarray]:
+        return [self.W, self.b]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.dW, self.db]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad * self._mask
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._y is not None
+        return grad * (1.0 - self._y ** 2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over feature columns with running statistics."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9,
+                 eps: float = 1e-5) -> None:
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (self.momentum * self.running_mean
+                                 + (1 - self.momentum) * mean)
+            self.running_var = (self.momentum * self.running_var
+                                + (1 - self.momentum) * var)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean) / std
+        self._cache = (x_hat, std)
+        return self.gamma * x_hat + self.beta
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_hat, std = self._cache
+        n = grad.shape[0]
+        self.dgamma[...] = (grad * x_hat).sum(axis=0)
+        self.dbeta[...] = grad.sum(axis=0)
+        dx_hat = grad * self.gamma
+        # Standard batch-norm backward (training-mode statistics).
+        return (dx_hat - dx_hat.mean(axis=0)
+                - x_hat * (dx_hat * x_hat).mean(axis=0)) / std
+
+    def params(self) -> List[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.dgamma, self.dbeta]

@@ -1,0 +1,74 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer over parallel (param, grad) array lists."""
+
+    def __init__(self, params: List[np.ndarray],
+                 grads: List[np.ndarray], lr: float) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params/grads length mismatch")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, params: List[np.ndarray], grads: List[np.ndarray],
+                 lr: float = 0.01, momentum: float = 0.9) -> None:
+        super().__init__(params, grads, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, params: List[np.ndarray], grads: List[np.ndarray],
+                 lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(params, grads, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            if self.weight_decay > 0:
+                g = g + self.weight_decay * p
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * (g * g)
+            m_hat = m / (1 - b1 ** self._t)
+            v_hat = v / (1 - b2 ** self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,18 @@
+"""Workload construction: single-model EE tests and random task flows."""
+
+from repro.workloads.images import ImageBatchSpec, synthetic_batch
+from repro.workloads.taskflow import (
+    TaskFlowConfig,
+    make_taskflow,
+    make_model_job,
+    DEFAULT_BATCH_SIZE,
+)
+
+__all__ = [
+    "ImageBatchSpec",
+    "synthetic_batch",
+    "TaskFlowConfig",
+    "make_taskflow",
+    "make_model_job",
+    "DEFAULT_BATCH_SIZE",
+]

@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+``tiny_platform`` is a cut-down ladder for fast governor/simulator tests;
+``fitted_lens`` is a session-scoped PowerLens trained on a small corpus so
+pipeline/ablation/experiment tests don't each pay for dataset generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PowerLens, PowerLensConfig
+from repro.graph import Graph, GraphBuilder
+from repro.hw import PlatformSpec, CpuSpec, jetson_tx2
+
+
+@pytest.fixture(scope="session")
+def tx2() -> PlatformSpec:
+    return jetson_tx2()
+
+
+@pytest.fixture(scope="session")
+def tiny_platform() -> PlatformSpec:
+    """Five-level platform, cheap to sweep exhaustively."""
+    return PlatformSpec(
+        name="tiny",
+        gpu_freq_levels=(200e6, 400e6, 600e6, 800e6, 1000e6),
+        cpu=CpuSpec(freq_levels=(500e6, 1000e6, 2000e6)),
+    )
+
+
+def build_small_cnn(name: str = "small_cnn") -> Graph:
+    """A small but structurally interesting CNN: conv stage, residual
+    stage, classifier head."""
+    b = GraphBuilder(name)
+    x = b.input((3, 32, 32))
+    x = b.conv_bn_act(x, 16, kernel=3, stride=1, padding=1)
+    x = b.conv_bn_act(x, 32, kernel=3, stride=2, padding=1)
+    y = b.conv_bn_act(x, 32, kernel=3, stride=1, padding=1)
+    x = b.add([x, y])
+    x = b.relu(x)
+    x = b.adaptive_avgpool(x, 1)
+    x = b.flatten(x)
+    x = b.linear(x, 64)
+    x = b.relu(x)
+    b.linear(x, 10)
+    return b.build()
+
+
+@pytest.fixture()
+def small_cnn() -> Graph:
+    return build_small_cnn()
+
+
+@pytest.fixture(scope="session")
+def fitted_lens(tx2) -> PowerLens:
+    """PowerLens fitted on a small synthetic corpus (session-scoped)."""
+    lens = PowerLens(tx2, PowerLensConfig(n_networks=25, seed=7))
+    lens.fit()
+    return lens

@@ -1,0 +1,41 @@
+"""CLI parsing tests (execution of heavy commands is covered by the
+experiment integration tests)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.platform == "tx2"
+        assert args.runs == 10
+
+    def test_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--platform", "h100"])
+
+    def test_figure1_model_arg(self):
+        args = build_parser().parse_args(
+            ["figure1", "--model", "vgg19", "--platform", "agx"])
+        assert args.model == "vgg19"
+        assert args.platform == "agx"
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "figure1", "figure5",
+                    "accuracy", "analyze", "models"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+
+def test_models_command_lists_zoo(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet152" in out
+    assert "vit_b_16" in out

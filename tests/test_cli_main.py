@@ -1,0 +1,66 @@
+"""CLI ``main()`` execution tests with a stubbed experiment context so
+the heavy fits never run."""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.cli as cli
+
+
+class _FakePlan:
+    def summary(self):
+        return "fake power view: block 0 -> level 5"
+
+
+class _FakeLens:
+    def analyze(self, graph):
+        return _FakePlan()
+
+
+class _FakeContext:
+    lens = _FakeLens()
+
+    def graph(self, name):
+        return SimpleNamespace(name=name)
+
+
+class _FakeResult:
+    def format_table(self):
+        return "fake table output"
+
+
+@pytest.fixture()
+def stubbed(monkeypatch):
+    fake_ctx = _FakeContext()
+    monkeypatch.setattr("repro.experiments.common.get_context",
+                        lambda *a, **k: fake_ctx)
+    import repro.experiments as experiments
+    for name in ("run_table1", "run_table2", "run_table3",
+                 "run_figure1", "run_figure5"):
+        monkeypatch.setattr(experiments, name,
+                            lambda *a, **k: _FakeResult())
+    return fake_ctx
+
+
+def test_analyze_command(stubbed, capsys):
+    assert cli.main(["analyze", "--model", "vgg19"]) == 0
+    assert "fake power view" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("command", ["table1", "table2", "table3",
+                                     "figure1", "figure5"])
+def test_table_commands_print_tables(stubbed, capsys, command):
+    assert cli.main([command]) == 0
+    assert "fake table output" in capsys.readouterr().out
+
+
+def test_accuracy_command(monkeypatch, capsys):
+    class _FakeAccuracy:
+        def format_table(self):
+            return "accuracy table"
+    import repro.experiments as experiments
+    monkeypatch.setattr(experiments, "run_accuracy",
+                        lambda *a, **k: _FakeAccuracy())
+    assert cli.main(["accuracy", "--networks", "5"]) == 0
+    assert "accuracy table" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Ablation variant tests (Table 2's P-R and P-N)."""
+
+import pytest
+
+from repro.core.ablation import (
+    no_clustering_plan,
+    random_partition,
+    random_partition_plan,
+)
+
+
+class TestRandomPartition:
+    def test_partition_covers_everything(self):
+        groups = random_partition(20, 4, seed=0)
+        assert len(groups) == 4
+        covered = sorted(i for g in groups for i in g)
+        assert covered == list(range(20))
+
+    def test_groups_non_empty(self):
+        for seed in range(5):
+            groups = random_partition(10, 5, seed=seed)
+            assert all(len(g) >= 1 for g in groups)
+
+    def test_more_blocks_than_ops_clamped(self):
+        groups = random_partition(3, 10, seed=0)
+        assert len(groups) == 3
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            random_partition(5, 0)
+
+    def test_deterministic(self):
+        assert random_partition(15, 3, seed=7) == \
+            random_partition(15, 3, seed=7)
+
+    def test_generally_non_contiguous(self):
+        """Random grouping should usually scatter operators — that is
+        what makes P-R pay switch costs."""
+        groups = random_partition(30, 3, seed=1)
+        scattered = any(
+            list(g) != list(range(g[0], g[-1] + 1)) for g in groups)
+        assert scattered
+
+
+class TestAblationPlans:
+    def test_pn_single_step(self, fitted_lens, small_cnn, tx2):
+        plan = no_clustering_plan(fitted_lens, small_cnn)
+        assert plan.n_blocks == 1
+        assert plan.steps[0].op_index == 0
+        assert 0 <= plan.steps[0].level <= tx2.max_level
+
+    def test_pr_plan_valid_and_covers(self, fitted_lens, small_cnn):
+        plan = random_partition_plan(fitted_lens, small_cnn, n_blocks=3,
+                                     seed=0)
+        # Every operator has a defined level.
+        n = len(small_cnn.compute_nodes())
+        for op in range(n):
+            plan.level_for_op(op)
+        assert plan.steps[0].op_index == 0
+
+    def test_pr_produces_more_switches_than_powerlens(self, fitted_lens,
+                                                      small_cnn):
+        pr = random_partition_plan(fitted_lens, small_cnn, n_blocks=4,
+                                   seed=3)
+        pl = fitted_lens.analyze(small_cnn).plan
+        # Random scattering generally needs at least as many retargets.
+        assert len(pr.switch_indices()) >= len(pl.switch_indices())
+
+    def test_pr_defaults_to_powerlens_block_count(self, fitted_lens,
+                                                  small_cnn):
+        pl_blocks = fitted_lens.analyze(small_cnn).n_blocks
+        plan = random_partition_plan(fitted_lens, small_cnn, seed=0)
+        distinct_groups = pl_blocks
+        assert plan.n_blocks >= 1
+        # Group count bounded by op count either way.
+        assert plan.n_blocks <= len(small_cnn.compute_nodes())
+
+    def test_unfitted_lens_rejected(self, tx2, small_cnn):
+        from repro.core import PowerLens
+        lens = PowerLens(tx2)
+        with pytest.raises(RuntimeError):
+            no_clustering_plan(lens, small_cnn)
+        with pytest.raises(RuntimeError):
+            random_partition_plan(lens, small_cnn, n_blocks=2)

@@ -1,0 +1,112 @@
+"""Experiment driver integration tests at miniature scale.
+
+These exercise the full table/figure machinery end-to-end with a tiny
+fitted context so the suite stays fast; the benchmark harness runs the
+paper-scale versions.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.figure1 import run_figure1, sparkline
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import measure_switch_overhead, run_table3
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """Tiny fitted context shared by all experiment tests."""
+    from repro.core import PowerLens, PowerLensConfig
+    from repro.hw import jetson_tx2
+    platform = jetson_tx2()
+    lens = PowerLens(platform, PowerLensConfig(n_networks=20, seed=3))
+    lens.fit()
+    return ExperimentContext(platform=platform, lens=lens)
+
+
+MODELS = ["alexnet", "resnet18"]
+
+
+class TestTable1:
+    def test_rows_and_averages(self, ctx):
+        res = run_table1("tx2", models=MODELS, n_runs=2, context=ctx)
+        assert [r.model for r in res.rows] == MODELS
+        for row in res.rows:
+            assert row.blocks >= 1
+            assert row.ee_powerlens > 0
+            assert set(row.ee_by_method) == {"bim", "fpg_g", "fpg_cg"}
+        text = res.format_table()
+        assert "Average" in text and "alexnet" in text
+
+    def test_powerlens_beats_bim(self, ctx):
+        """The paper's headline: positive gains over the built-in
+        governor on every model."""
+        res = run_table1("tx2", models=MODELS, n_runs=3, context=ctx)
+        for row in res.rows:
+            assert row.gain_over("bim") > 0
+
+
+class TestTable2:
+    def test_ablation_losses(self, ctx):
+        res = run_table2("tx2", models=["resnet18"], n_runs=2,
+                         context=ctx)
+        row = res.rows[0]
+        # Losses are relative EE deltas; P-R should not beat PowerLens.
+        assert row.loss_pr <= 0.05
+        text = res.format_table()
+        assert "P-R" in text and "P-N" in text
+
+
+class TestTable3:
+    def test_overhead_table(self, ctx):
+        res = run_table3("tx2", models=MODELS, context=ctx)
+        text = res.format_table()
+        assert "clustering" in text
+        assert "DVFS switch overhead" in text
+
+    def test_switch_overhead_is_platform_latency(self, ctx):
+        overhead = measure_switch_overhead(ctx, n_switches=100)
+        assert overhead == pytest.approx(ctx.platform.dvfs_latency_s)
+
+
+class TestFigure1:
+    def test_traces_and_sparklines(self, ctx):
+        res = run_figure1("tx2", model="resnet18", n_batches=2,
+                          context=ctx)
+        assert len(res.traces) == 2
+        bim, pl = res.traces
+        assert bim.method == "bim"
+        assert pl.method == "powerlens"
+        # The reactive governor oscillates between ladder ends and
+        # spends more energy than the preset plan.
+        assert bim.reversal_count >= 1
+        assert pl.energy_j < bim.energy_j
+        text = res.format_table()
+        assert "level trace" in text
+
+    def test_sparkline_rendering(self):
+        assert sparkline([], 5) == ""
+        line = sparkline([0, 2, 4], 5)
+        assert len(line) == 3
+        assert line[0] < line[-1]
+
+
+class TestFigure5:
+    def test_taskflow_outcomes(self, ctx):
+        res = run_figure5("tx2", n_tasks=4, images_per_task=20,
+                          context=ctx)
+        assert set(res.outcomes) == {"bim", "fpg_g", "fpg_cg",
+                                     "powerlens"}
+        for outcome in res.outcomes.values():
+            assert outcome.energy_j > 0
+            assert outcome.time_s > 0
+        text = res.format_table()
+        assert "powerlens vs bim" in text
+
+    def test_powerlens_lowest_energy(self, ctx):
+        res = run_figure5("tx2", n_tasks=4, images_per_task=20,
+                          context=ctx)
+        pl = res.outcomes["powerlens"].energy_j
+        assert pl < res.outcomes["bim"].energy_j

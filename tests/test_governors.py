@@ -1,0 +1,167 @@
+"""Governor behaviour tests."""
+
+import pytest
+
+from repro.governors import (
+    FPGGovernor,
+    GOVERNOR_REGISTRY,
+    OndemandGovernor,
+    StaticGovernor,
+    fpg_cg,
+    fpg_g,
+    make_governor,
+)
+from repro.hw import InferenceJob, InferenceSimulator
+from repro.hw.telemetry import TelemetrySample
+
+
+def _sample(level, busy, cu=None, mu=0.2, power=5.0, t=0.0):
+    return TelemetrySample(
+        t=t, period=0.02, gpu_level=level, gpu_busy=busy,
+        compute_util=busy if cu is None else cu, memory_util=mu,
+        gpu_power=power, cpu_power=1.0, total_power=power + 1.0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("bim", "ondemand", "fpg_g", "fpg_cg", "performance",
+                     "static"):
+            assert name in GOVERNOR_REGISTRY
+            gov = make_governor(name)
+            assert gov is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_governor("quantum")
+
+
+class TestStatic:
+    def test_negative_index(self, tx2):
+        gov = StaticGovernor(level=-1)
+        gov.reset(tx2)
+        assert gov.initial_gpu_level() == tx2.max_level
+
+    def test_none_is_max(self, tx2):
+        gov = StaticGovernor()
+        gov.reset(tx2)
+        assert gov.initial_gpu_level() == tx2.max_level
+
+    def test_clamped(self, tx2):
+        gov = StaticGovernor(level=500)
+        gov.reset(tx2)
+        assert gov.initial_gpu_level() == tx2.max_level
+
+
+class TestOndemand:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=1.5)
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=0.5, down_differential=0.6)
+
+    def test_races_to_max_under_load(self, tx2):
+        gov = OndemandGovernor()
+        gov.reset(tx2)
+        assert gov.on_sample(_sample(level=3, busy=0.99)) == tx2.max_level
+
+    def test_steps_down_when_light(self, tx2):
+        gov = OndemandGovernor()
+        gov.reset(tx2)
+        target = gov.on_sample(_sample(level=10, busy=0.10))
+        assert target is not None and target < 10
+
+    def test_deadband_holds(self, tx2):
+        gov = OndemandGovernor()
+        gov.reset(tx2)
+        assert gov.on_sample(_sample(level=6, busy=0.88)) is None
+
+    def test_ping_pong_on_alternating_load(self, tx2):
+        """Alternating idle/busy windows produce the Figure-1(A)
+        oscillation between ladder ends."""
+        gov = OndemandGovernor()
+        gov.reset(tx2)
+        levels = [gov.initial_gpu_level()]
+        cur = levels[0]
+        for i in range(8):
+            busy = 0.99 if i % 2 else 0.02
+            target = gov.on_sample(_sample(level=cur, busy=busy))
+            if target is not None:
+                cur = target
+            levels.append(cur)
+        assert 0 in levels and tx2.max_level in levels
+
+    def test_lag_one_window(self, tx2, small_cnn):
+        """The governor only reacts after a window closes: the first
+        busy window still runs at the idle level."""
+        sim = InferenceSimulator(tx2, sample_period=0.01)
+        job = InferenceJob(graph=small_cnn, batch_size=16, n_batches=1,
+                           cpu_work_per_image=2e8)
+        r = sim.run([job], OndemandGovernor())
+        gpu_segments = [s for s in r.trace.segments if s.kind == "gpu_op"]
+        assert gpu_segments[0].gpu_level < tx2.max_level
+
+
+class TestFPG:
+    def test_idle_parks_low(self, tx2):
+        gov = fpg_g()
+        gov.reset(tx2)
+        assert gov.on_sample(_sample(level=9, busy=0.01)) == 0
+
+    def test_burst_ramps_high_first(self, tx2):
+        gov = fpg_g()
+        gov.reset(tx2)
+        gov.on_sample(_sample(level=9, busy=0.01))     # go idle
+        target = gov.on_sample(_sample(level=0, busy=0.95))
+        assert target == round(0.85 * tx2.max_level)
+
+    def test_searches_downward_initially(self, tx2):
+        gov = FPGGovernor(adjust_every=1)
+        gov.reset(tx2)
+        gov.on_sample(_sample(level=9, busy=0.01))
+        start = gov.on_sample(_sample(level=0, busy=0.95))
+        nxt = gov.on_sample(_sample(level=start, busy=0.95, power=20.0))
+        assert nxt == start - 1
+
+    def test_reverses_when_proxy_degrades(self, tx2):
+        gov = FPGGovernor(adjust_every=1)
+        gov.reset(tx2)
+        gov.on_sample(_sample(level=9, busy=0.01))
+        lvl = gov.on_sample(_sample(level=0, busy=0.95))
+        # Good proxy, then much worse proxy -> direction flips upward.
+        lvl2 = gov.on_sample(_sample(level=lvl, busy=0.95, cu=0.9,
+                                     power=10.0))
+        lvl3 = gov.on_sample(_sample(level=lvl2, busy=0.95, cu=0.1,
+                                     power=30.0))
+        assert lvl3 == lvl2 + 1
+
+    def test_cpu_policies(self):
+        assert fpg_g().cpu_policy == "ondemand"
+        assert fpg_cg().cpu_policy == "efficient"
+        assert fpg_g().name == "fpg_g"
+        assert fpg_cg().name == "fpg_cg"
+
+    def test_adjust_every_skips_windows(self, tx2):
+        gov = FPGGovernor(adjust_every=3)
+        gov.reset(tx2)
+        gov.on_sample(_sample(level=9, busy=0.01))
+        gov.on_sample(_sample(level=0, busy=0.95))  # ramp
+        assert gov.on_sample(_sample(level=11, busy=0.95)) is None
+        assert gov.on_sample(_sample(level=11, busy=0.95)) is None
+        assert gov.on_sample(_sample(level=11, busy=0.95)) is not None
+
+
+class TestEndToEndOrdering:
+    def test_ee_ordering_bim_worst(self, tx2):
+        """On a sustained workload: adaptive governors beat the
+        race-to-max built-in governor in energy efficiency."""
+        from repro.models import build_model
+        graph = build_model("resnet34")
+        job = InferenceJob(graph=graph, batch_size=16, n_batches=4,
+                           cpu_work_per_image=5e7)
+        results = {}
+        for gov in (OndemandGovernor(), fpg_g()):
+            sim = InferenceSimulator(tx2, sample_period=0.02,
+                                     keep_trace=False)
+            results[gov.name] = sim.run(
+                [job], gov).report.energy_efficiency
+        assert results["fpg_g"] > results["bim"]

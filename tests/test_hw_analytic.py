@@ -1,0 +1,126 @@
+"""Closed-form evaluator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hw.analytic import AnalyticEvaluator
+from repro.hw.perf import LatencyModel, OpWork
+
+
+@pytest.fixture()
+def evaluator(tx2):
+    return AnalyticEvaluator(tx2)
+
+
+class TestProfile:
+    def test_profile_shapes(self, evaluator, small_cnn, tx2):
+        p = evaluator.graph_profile(small_cnn, batch_size=8)
+        assert p.times.shape == (tx2.n_levels,)
+        assert p.energies.shape == (tx2.n_levels,)
+        assert np.all(p.times > 0)
+        assert np.all(p.energies > 0)
+
+    def test_times_non_increasing_in_level(self, evaluator, small_cnn):
+        p = evaluator.graph_profile(small_cnn, batch_size=8)
+        assert np.all(np.diff(p.times) <= 1e-12)
+
+    def test_profile_matches_latency_model(self, evaluator, small_cnn,
+                                           tx2):
+        """Per-level time must equal the scalar roofline model summed
+        over operators."""
+        latency = LatencyModel(tx2)
+        p = evaluator.graph_profile(small_cnn, batch_size=8)
+        for level in (0, 5, tx2.max_level):
+            expected = latency.graph_time(small_cnn, level, batch_size=8)
+            assert p.times[level] == pytest.approx(expected, rel=1e-9)
+
+    def test_block_profile_sums_to_graph(self, evaluator, small_cnn):
+        n = len(small_cnn.compute_nodes())
+        half = n // 2
+        p_a = evaluator.block_profile(small_cnn, range(half), 8)
+        p_b = evaluator.block_profile(small_cnn, range(half, n), 8)
+        p_full = evaluator.graph_profile(small_cnn, 8)
+        assert np.allclose(p_a.times + p_b.times, p_full.times)
+        assert np.allclose(p_a.energies + p_b.energies, p_full.energies)
+
+    def test_ee_is_reciprocal_energy(self, evaluator, small_cnn):
+        p = evaluator.graph_profile(small_cnn, 8)
+        assert np.allclose(p.ee, 1.0 / p.energies)
+
+
+class TestBestLevel:
+    def test_feasibility_respected(self, evaluator, small_cnn):
+        for slack in (0.0, 0.1, 0.25, 1.0):
+            p = evaluator.graph_profile(small_cnn, 8)
+            lvl = evaluator.best_level(p, latency_slack=slack)
+            assert p.times[lvl] <= (1 + slack) * p.times[-1] * (1 + 1e-9)
+
+    def test_zero_slack_pins_near_max(self, evaluator, small_cnn, tx2):
+        p = evaluator.graph_profile(small_cnn, 8)
+        lvl = evaluator.best_level(p, latency_slack=0.0)
+        # With no slowdown budget only levels as fast as fmax qualify.
+        assert p.times[lvl] <= p.times[tx2.max_level] * (1 + 1e-9)
+
+    def test_larger_slack_never_worsens_ee(self, evaluator, small_cnn):
+        p = evaluator.graph_profile(small_cnn, 8)
+        ee_small = p.ee[evaluator.best_level(p, 0.1)]
+        ee_large = p.ee[evaluator.best_level(p, 0.5)]
+        # The tolerance tie-break may pick a slightly lower-EE level
+        # within 0.5%, so compare with that allowance.
+        assert ee_large >= ee_small * 0.995
+
+    def test_tolerance_prefers_higher_level(self, evaluator, small_cnn):
+        """Among EE-near-ties the faster (higher) level is chosen."""
+        p = evaluator.graph_profile(small_cnn, 8)
+        strict = evaluator.best_level(p, 0.25, ee_tolerance=0.0)
+        loose = evaluator.best_level(p, 0.25, ee_tolerance=0.05)
+        assert loose >= strict
+
+    def test_best_level_for_block(self, evaluator, small_cnn, tx2):
+        lvl = evaluator.best_level_for_block(small_cnn, [0, 1, 2],
+                                             batch_size=8)
+        assert 0 <= lvl <= tx2.max_level
+
+
+class TestPlanEnergy:
+    def test_uniform_plan_matches_graph_profile(self, evaluator,
+                                                small_cnn):
+        n = len(small_cnn.compute_nodes())
+        p = evaluator.graph_profile(small_cnn, 8)
+        e, t = evaluator.plan_energy_time(
+            small_cnn, [list(range(n))], [5], batch_size=8)
+        assert e == pytest.approx(float(p.energies[5]))
+        assert t == pytest.approx(float(p.times[5]))
+
+    def test_switch_cost_added_between_blocks(self, evaluator, small_cnn,
+                                              tx2):
+        n = len(small_cnn.compute_nodes())
+        blocks = [list(range(n // 2)), list(range(n // 2, n))]
+        e_same, t_same = evaluator.plan_energy_time(small_cnn, blocks,
+                                                    [5, 5], 8)
+        e_diff, t_diff = evaluator.plan_energy_time(small_cnn, blocks,
+                                                    [5, 8], 8)
+        # Same level: no boundary cost; different levels: one stall.
+        assert t_diff - t_same != pytest.approx(0.0) or \
+            e_diff != pytest.approx(e_same)
+        p = evaluator.graph_profile(small_cnn, 8)
+
+    def test_mismatched_lengths_rejected(self, evaluator, small_cnn):
+        with pytest.raises(ValueError):
+            evaluator.plan_energy_time(small_cnn, [[0]], [1, 2], 8)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(level=st.integers(0, 12), batch=st.integers(1, 32))
+    def test_energy_time_positive(self, evaluator, small_cnn, level,
+                                  batch):
+        n = len(small_cnn.compute_nodes())
+        e, t = evaluator.plan_energy_time(small_cnn, [list(range(n))],
+                                          [level], batch)
+        assert e > 0 and t > 0
+
+
+class TestOverheadPower:
+    def test_overhead_includes_board(self, evaluator, tx2):
+        assert evaluator.overhead_power >= tx2.board_power

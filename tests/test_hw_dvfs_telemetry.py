@@ -1,0 +1,155 @@
+"""DVFS controller and telemetry/trace accounting tests."""
+
+import pytest
+
+from repro.hw.dvfs import DVFSController, DVFSSwitch
+from repro.hw.telemetry import (
+    KIND_CPU,
+    KIND_GPU_OP,
+    KIND_SWITCH,
+    EnergyReport,
+    TelemetrySample,
+    Trace,
+    TraceSegment,
+    format_tegrastats,
+    report_from_trace,
+)
+
+
+def _seg(t0, t1, kind=KIND_GPU_OP, level=3, gpu=5.0, cpu=1.0, board=2.0):
+    return TraceSegment(t_start=t0, t_end=t1, kind=kind, gpu_level=level,
+                        gpu_power=gpu, cpu_power=cpu, board_power=board)
+
+
+class TestDVFSController:
+    def test_noop_request_ignored(self, tx2):
+        c = DVFSController(tx2, level=3)
+        assert c.request(0.0, 3) is None
+        assert c.switch_count() == 0
+
+    def test_request_clamps(self, tx2):
+        c = DVFSController(tx2, level=0)
+        sw = c.request(0.0, 999)
+        assert sw.to_level == tx2.max_level
+        assert c.level == tx2.max_level
+
+    def test_history_records(self, tx2):
+        c = DVFSController(tx2, level=0)
+        c.request(0.0, 5)
+        c.request(1.0, 2)
+        assert c.switch_count() == 2
+        assert c.history[0] == DVFSSwitch(0.0, 0, 5)
+        assert c.history[1].direction == -1
+
+    def test_reversal_counting(self, tx2):
+        c = DVFSController(tx2, level=0)
+        for t, lvl in enumerate([5, 2, 6, 1, 8]):  # up,down,up,down,up
+            c.request(float(t), lvl)
+        assert c.reversal_count() == 4
+        assert c.reversal_rate(2.0) == pytest.approx(2.0)
+
+    def test_monotone_ramp_has_no_reversals(self, tx2):
+        c = DVFSController(tx2, level=0)
+        for t, lvl in enumerate([2, 4, 6, 8, 10]):
+            c.request(float(t), lvl)
+        assert c.reversal_count() == 0
+
+    def test_freq_property(self, tx2):
+        c = DVFSController(tx2, level=4)
+        assert c.freq == tx2.freq_of_level(4)
+
+
+class TestTrace:
+    def test_energy_is_integral_of_power(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 1.0, gpu=5.0, cpu=1.0, board=2.0))
+        tr.append(_seg(1.0, 3.0, gpu=3.0, cpu=0.5, board=2.0))
+        assert tr.total_time == pytest.approx(3.0)
+        assert tr.gpu_energy == pytest.approx(5.0 + 2 * 3.0)
+        assert tr.cpu_energy == pytest.approx(1.0 + 2 * 0.5)
+        assert tr.board_energy == pytest.approx(2.0 + 2 * 2.0)
+        assert tr.total_energy == pytest.approx(tr.gpu_energy
+                                                + tr.cpu_energy
+                                                + tr.board_energy)
+
+    def test_average_power(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 2.0, gpu=4.0, cpu=0.0, board=0.0))
+        assert tr.average_power == pytest.approx(4.0)
+
+    def test_negative_duration_rejected(self):
+        tr = Trace()
+        with pytest.raises(ValueError):
+            tr.append(_seg(1.0, 0.5))
+
+    def test_busy_time_counts_only_gpu_ops(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 1.0, kind=KIND_GPU_OP))
+        tr.append(_seg(1.0, 2.0, kind=KIND_CPU))
+        assert tr.busy_gpu_time == pytest.approx(1.0)
+
+    def test_switch_count(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 0.001, kind=KIND_SWITCH))
+        tr.append(_seg(0.001, 1.0))
+        assert tr.switch_count == 1
+
+    def test_segments_dropped_but_scalars_kept(self):
+        tr = Trace(keep_segments=False)
+        tr.append(_seg(0.0, 1.0))
+        assert tr.segments == []
+        assert tr.total_energy > 0
+
+    def test_frequency_timeline_merges_runs(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 1.0, level=3))
+        tr.append(_seg(1.0, 2.0, level=3))
+        tr.append(_seg(2.0, 3.0, level=7))
+        timeline = tr.frequency_timeline()
+        assert timeline == [(0.0, 2.0, 3), (2.0, 3.0, 7)]
+
+    def test_level_residency_sums_to_one(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 1.0, level=0))
+        tr.append(_seg(1.0, 4.0, level=2))
+        res = tr.level_residency(4)
+        assert sum(res) == pytest.approx(1.0)
+        assert res[2] == pytest.approx(0.75)
+
+
+class TestEnergyReport:
+    def test_ee_definition_matches_equation_1(self):
+        """EE = images / E = FPS / P-bar (equation 1 of the paper)."""
+        r = EnergyReport(images=100, total_time=10.0, total_energy=50.0,
+                         gpu_energy=30.0, cpu_energy=15.0,
+                         board_energy=5.0, switch_count=0)
+        assert r.energy_efficiency == pytest.approx(2.0)
+        assert r.fps / r.average_power == pytest.approx(
+            r.energy_efficiency)
+        assert r.energy_per_image == pytest.approx(0.5)
+
+    def test_zero_guards(self):
+        r = EnergyReport(images=0, total_time=0.0, total_energy=0.0,
+                         gpu_energy=0, cpu_energy=0, board_energy=0,
+                         switch_count=0)
+        assert r.energy_efficiency == 0.0
+        assert r.fps == 0.0
+        assert r.average_power == 0.0
+        assert r.energy_per_image == 0.0
+
+    def test_report_from_trace(self):
+        tr = Trace()
+        tr.append(_seg(0.0, 2.0))
+        r = report_from_trace(tr, images=4)
+        assert r.images == 4
+        assert r.total_energy == pytest.approx(tr.total_energy)
+
+
+def test_tegrastats_format():
+    s = TelemetrySample(t=1.5, period=0.02, gpu_level=7, gpu_busy=0.87,
+                        compute_util=0.5, memory_util=0.3, gpu_power=6.54,
+                        cpu_power=0.81, total_power=9.0)
+    text = format_tegrastats([s], "tx2")
+    assert "GR3D_FREQ  87%@L07" in text
+    assert "VDD_GPU   6540mW" in text
+    assert "TOTAL   9000mW" in text

@@ -1,0 +1,102 @@
+"""Additional simulator coverage: sampling interplay, governor events,
+telemetry contents."""
+
+import pytest
+
+from repro.governors import Governor, StaticGovernor
+from repro.hw import InferenceJob, InferenceSimulator
+from repro.hw.telemetry import KIND_CPU, KIND_GPU_OP
+
+
+class _RecordingGovernor(Governor):
+    """Captures every event the simulator delivers."""
+
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.samples = []
+        self.op_starts = []
+        self.job_starts = []
+
+    def on_job_start(self, job_idx, job):
+        self.job_starts.append((job_idx, job.label()))
+        return None
+
+    def on_op_start(self, job_idx, op_idx, work):
+        self.op_starts.append((job_idx, op_idx, work.name))
+        return None
+
+    def on_sample(self, sample):
+        self.samples.append(sample)
+        return None
+
+
+class TestEventDelivery:
+    def test_all_ops_announced_in_order(self, tx2, small_cnn):
+        gov = _RecordingGovernor()
+        sim = InferenceSimulator(tx2, sample_period=0.01)
+        job = InferenceJob(graph=small_cnn, batch_size=8, n_batches=2)
+        sim.run([job], gov)
+        n_ops = len(small_cnn.compute_nodes())
+        assert len(gov.op_starts) == 2 * n_ops
+        indices = [idx for _j, idx, _n in gov.op_starts[:n_ops]]
+        assert indices == list(range(n_ops))
+
+    def test_job_start_events(self, tx2, small_cnn):
+        gov = _RecordingGovernor()
+        sim = InferenceSimulator(tx2)
+        jobs = [InferenceJob(graph=small_cnn, batch_size=4, name="a"),
+                InferenceJob(graph=small_cnn, batch_size=4, name="b")]
+        sim.run(jobs, gov)
+        assert gov.job_starts == [(0, "a"), (1, "b")]
+
+    def test_samples_arrive_at_period(self, tx2, small_cnn):
+        gov = _RecordingGovernor()
+        sim = InferenceSimulator(tx2, sample_period=0.05)
+        job = InferenceJob(graph=small_cnn, batch_size=16, n_batches=3)
+        result = sim.run([job], gov)
+        assert len(gov.samples) >= 2
+        gaps = [b.t - a.t for a, b in zip(gov.samples, gov.samples[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(0.05, abs=1e-6)
+
+    def test_sample_contents_sane(self, tx2, small_cnn):
+        gov = _RecordingGovernor()
+        sim = InferenceSimulator(tx2, sample_period=0.02)
+        job = InferenceJob(graph=small_cnn, batch_size=16, n_batches=2)
+        sim.run([job], gov)
+        for s in gov.samples:
+            assert 0.0 <= s.gpu_busy <= 1.0
+            assert 0.0 <= s.compute_util <= 1.0
+            assert s.total_power > 0
+            assert 0 <= s.gpu_level < tx2.n_levels
+
+
+class TestPhaseStructure:
+    def test_cpu_then_gpu_alternation(self, tx2, small_cnn):
+        sim = InferenceSimulator(tx2, sample_period=1.0)
+        job = InferenceJob(graph=small_cnn, batch_size=8, n_batches=2,
+                           cpu_work_per_image=5e7)
+        r = sim.run([job], StaticGovernor())
+        kinds = []
+        for seg in r.trace.segments:
+            if not kinds or kinds[-1] != seg.kind:
+                kinds.append(seg.kind)
+        meaningful = [k for k in kinds if k in (KIND_CPU, KIND_GPU_OP)]
+        # cpu, gpu, cpu, gpu for two batches.
+        assert meaningful == [KIND_CPU, KIND_GPU_OP] * 2
+
+    def test_zero_cpu_work_skips_cpu_phase(self, tx2, small_cnn):
+        sim = InferenceSimulator(tx2)
+        job = InferenceJob(graph=small_cnn, batch_size=8,
+                           cpu_work_per_image=0.0)
+        r = sim.run([job], StaticGovernor())
+        cpu_time = sum(s.duration for s in r.trace.segments
+                       if s.kind == KIND_CPU)
+        assert cpu_time == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_job_list(self, tx2):
+        r = InferenceSimulator(tx2).run([], StaticGovernor())
+        assert r.report.total_energy == 0.0
+        assert r.report.images == 0

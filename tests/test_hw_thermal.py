@@ -1,0 +1,119 @@
+"""Thermal model tests: RC dynamics, leakage coupling, throttling."""
+
+import pytest
+
+from repro.governors import StaticGovernor
+from repro.hw import InferenceJob, InferenceSimulator
+from repro.hw.thermal import ThermalConfig, ThermalState
+from repro.models import build_model
+
+
+class TestThermalState:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(r_th=0.0)
+        with pytest.raises(ValueError):
+            ThermalConfig(t_release=90.0, t_throttle=85.0)
+
+    def test_heats_toward_steady_state(self):
+        cfg = ThermalConfig(r_th=2.0, c_th=5.0)
+        state = ThermalState.initial(cfg)
+        for _ in range(1000):
+            state.advance(20.0, 0.1)
+        # Steady state: 25 + 20 W * 2 K/W = 65 C.
+        assert state.temperature == pytest.approx(65.0, abs=0.5)
+
+    def test_cools_when_idle(self):
+        cfg = ThermalConfig()
+        state = ThermalState.initial(cfg)
+        state.temperature = 80.0
+        state.advance(0.0, 1000.0)
+        assert state.temperature == pytest.approx(cfg.t_ambient, abs=0.5)
+
+    def test_exact_exponential_step_stable(self):
+        """Large dt must not overshoot (the exact solution is used, not
+        forward Euler)."""
+        cfg = ThermalConfig(r_th=1.0, c_th=1.0)
+        state = ThermalState.initial(cfg)
+        state.advance(50.0, 1e6)
+        assert state.temperature == pytest.approx(25.0 + 50.0, abs=1e-6)
+
+    def test_leakage_multiplier_grows(self):
+        cfg = ThermalConfig(leak_temp_coeff=0.01, t_ref=25.0)
+        state = ThermalState.initial(cfg)
+        assert state.leakage_multiplier() == pytest.approx(1.0)
+        state.temperature = 75.0
+        assert state.leakage_multiplier() == pytest.approx(1.5)
+
+    def test_throttle_hysteresis(self):
+        cfg = ThermalConfig(t_throttle=85.0, t_release=75.0)
+        state = ThermalState.initial(cfg)
+        state.temperature = 86.0
+        assert state.update_throttle()
+        state.temperature = 80.0   # between release and throttle
+        assert state.update_throttle()  # still engaged
+        state.temperature = 74.0
+        assert not state.update_throttle()
+
+    def test_peak_tracked(self):
+        state = ThermalState.initial(ThermalConfig())
+        state.advance(100.0, 10.0)
+        hot = state.temperature
+        state.advance(0.0, 1000.0)
+        assert state.peak_temperature == pytest.approx(hot)
+
+
+class TestSimulatorIntegration:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("resnet34")
+
+    def test_temperature_rises_under_load(self, tx2, graph):
+        hot = ThermalConfig(r_th=4.0, c_th=1.0)
+        sim = InferenceSimulator(tx2, thermal=hot, keep_trace=False)
+        job = InferenceJob(graph=graph, batch_size=16, n_batches=4)
+        r = sim.run([job], StaticGovernor())
+        assert r.peak_temperature > hot.t_ambient + 5.0
+
+    def test_lower_frequency_runs_cooler(self, tx2, graph):
+        hot = ThermalConfig(r_th=4.0, c_th=1.0)
+        job = InferenceJob(graph=graph, batch_size=16, n_batches=4)
+        r_max = InferenceSimulator(tx2, thermal=hot,
+                                   keep_trace=False).run(
+            [job], StaticGovernor())
+        r_mid = InferenceSimulator(tx2, thermal=hot,
+                                   keep_trace=False).run(
+            [job], StaticGovernor(level=5))
+        assert r_mid.peak_temperature < r_max.peak_temperature
+
+    def test_throttle_engages_on_hot_platform(self, tx2, graph):
+        furnace = ThermalConfig(r_th=8.0, c_th=0.4, t_throttle=55.0,
+                                t_release=56.0 - 8.0, throttle_level=2)
+        sim = InferenceSimulator(tx2, thermal=furnace, keep_trace=True)
+        job = InferenceJob(graph=graph, batch_size=16, n_batches=6,
+                           cpu_work_per_image=0.0)
+        r = sim.run([job], StaticGovernor())
+        assert r.throttle_time > 0
+        # Throttling actually lowered the level at some point.
+        levels = {s.gpu_level for s in r.trace.segments}
+        assert min(levels) <= 2
+
+    def test_thermal_off_by_default(self, tx2, graph):
+        sim = InferenceSimulator(tx2, keep_trace=False)
+        job = InferenceJob(graph=graph, batch_size=8, n_batches=1)
+        r = sim.run([job], StaticGovernor())
+        assert r.peak_temperature == 0.0
+        assert r.throttle_time == 0.0
+
+    def test_leakage_raises_energy_when_hot(self, tx2, graph):
+        job = InferenceJob(graph=graph, batch_size=16, n_batches=4,
+                           cpu_work_per_image=0.0)
+        cold = InferenceSimulator(tx2, keep_trace=False).run(
+            [job], StaticGovernor())
+        hot_cfg = ThermalConfig(r_th=6.0, c_th=0.5, t_throttle=500.0,
+                                t_release=499.0,
+                                leak_temp_coeff=0.02)
+        hot = InferenceSimulator(tx2, thermal=hot_cfg,
+                                 keep_trace=False).run(
+            [job], StaticGovernor())
+        assert hot.report.total_energy > cold.report.total_energy

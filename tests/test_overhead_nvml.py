@@ -1,0 +1,106 @@
+"""Stage timer / overhead report and NVML shim tests."""
+
+import time
+
+import pytest
+
+from repro.core.overhead import OverheadReport, StageTimer, _fmt_duration
+from repro.hw.nvml_shim import NVMLError, SimulatedNVML
+from repro.hw.telemetry import TelemetrySample
+
+
+class TestStageTimer:
+    def test_accumulates(self):
+        t = StageTimer()
+        with t.stage("work"):
+            time.sleep(0.01)
+        with t.stage("work"):
+            time.sleep(0.01)
+        assert t.total("work") >= 0.02
+        assert t.mean("work") == pytest.approx(t.total("work") / 2)
+
+    def test_record_external(self):
+        t = StageTimer()
+        t.record("train", 3600.0)
+        assert t.total("train") == 3600.0
+        with pytest.raises(ValueError):
+            t.record("train", -1.0)
+
+    def test_unknown_stage_zero(self):
+        t = StageTimer()
+        assert t.total("nope") == 0.0
+        assert t.mean("nope") == 0.0
+
+    def test_stage_survives_exception(self):
+        t = StageTimer()
+        with pytest.raises(RuntimeError):
+            with t.stage("failing"):
+                raise RuntimeError("boom")
+        assert t.total("failing") > 0
+
+    def test_as_dict(self):
+        t = StageTimer()
+        t.record("a", 1.0)
+        assert t.as_dict() == {"a": 1.0}
+
+
+class TestOverheadReport:
+    def test_format_durations(self):
+        assert _fmt_duration(7200) == "2.0h"
+        assert _fmt_duration(12.3) == "12.3s"
+        assert _fmt_duration(0.32) == "320ms"
+
+    def test_table_layout(self):
+        r = OverheadReport(
+            training=[("decision model", 3600.0)],
+            workflow=[("clustering", 60.0),
+                      ("hyperparameter prediction", 0.32)],
+            dvfs_switch_overhead_s=0.05,
+        )
+        text = r.format_table("tx2")
+        assert "decision model" in text
+        assert "1.0h" in text
+        assert "60.0s" in text
+        assert "320ms" in text
+        assert "50ms" in text
+
+
+class TestNVMLShim:
+    def test_requires_init(self, tx2):
+        shim = SimulatedNVML(tx2)
+        with pytest.raises(NVMLError):
+            shim.nvmlDeviceGetName()
+        shim.nvmlInit()
+        assert shim.nvmlDeviceGetName() == "jetson_tx2"
+        shim.nvmlShutdown()
+        with pytest.raises(NVMLError):
+            shim.nvmlDeviceGetClockInfo()
+
+    def test_supported_clocks_descending_mhz(self, tx2):
+        shim = SimulatedNVML(tx2)
+        shim.nvmlInit()
+        clocks = shim.nvmlDeviceGetSupportedGraphicsClocks()
+        assert len(clocks) == tx2.n_levels
+        assert clocks[0] == 1300  # 1300.5 MHz, banker's rounding
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_sample_driven_queries(self, tx2):
+        shim = SimulatedNVML(tx2)
+        shim.nvmlInit()
+        sample = TelemetrySample(
+            t=0.1, period=0.02, gpu_level=5, gpu_busy=0.8,
+            compute_util=0.6, memory_util=0.4, gpu_power=5.5,
+            cpu_power=1.5, total_power=9.0)
+        shim.feed_sample(sample)
+        assert shim.nvmlDeviceGetClockInfo() == \
+            int(round(tx2.freq_of_level(5) / 1e6))
+        assert shim.nvmlDeviceGetPowerUsage() == 9000
+        util = shim.nvmlDeviceGetUtilizationRates()
+        assert util == {"gpu": 80, "memory": 40}
+
+    def test_defaults_without_sample(self, tx2):
+        shim = SimulatedNVML(tx2)
+        shim.nvmlInit()
+        assert shim.nvmlDeviceGetPowerUsage() == 0
+        assert shim.nvmlDeviceGetUtilizationRates() == {"gpu": 0,
+                                                        "memory": 0}

@@ -1,0 +1,74 @@
+"""Public API surface tests: the imports the README advertises must all
+resolve, and the experiment context cache must behave."""
+
+import importlib
+
+import pytest
+
+
+@pytest.mark.parametrize("module", [
+    "repro",
+    "repro.graph",
+    "repro.models",
+    "repro.hw",
+    "repro.governors",
+    "repro.nn",
+    "repro.core",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.extensions",
+    "repro.analysis",
+    "repro.cli",
+])
+def test_module_imports(module):
+    importlib.import_module(module)
+
+
+def test_version():
+    import repro
+    assert repro.__version__
+
+
+def test_readme_quickstart_symbols():
+    from repro.core import PowerLens, PowerLensConfig
+    from repro.hw import InferenceJob, InferenceSimulator, jetson_tx2
+    from repro.models import build_model
+    assert callable(PowerLens) and callable(build_model)
+    assert PowerLensConfig().batch_size == 16
+    assert jetson_tx2().n_levels == 13
+    _ = InferenceSimulator, InferenceJob
+
+
+def test_all_exports_resolve():
+    """Every name in each package's __all__ must actually exist."""
+    for module_name in ("repro.graph", "repro.hw", "repro.governors",
+                        "repro.nn", "repro.core", "repro.workloads",
+                        "repro.experiments", "repro.extensions",
+                        "repro.analysis", "repro.models"):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_context_cache_reuses_fit(monkeypatch):
+    """get_context must fit once per (platform, corpus, seed) key."""
+    from repro.experiments import common
+
+    calls = []
+
+    class FakeLens:
+        def __init__(self, platform, config):
+            self.platform = platform
+            self.config = config
+
+        def fit(self):
+            calls.append(1)
+
+    monkeypatch.setattr(common, "PowerLens", FakeLens)
+    monkeypatch.setattr(common, "_CONTEXT_CACHE", {})
+    a = common.get_context("tx2", n_networks=1, seed=99)
+    b = common.get_context("tx2", n_networks=1, seed=99)
+    c = common.get_context("tx2", n_networks=2, seed=99)
+    assert a is b
+    assert a is not c
+    assert len(calls) == 2

@@ -1,0 +1,95 @@
+"""Regression tests for the paper's qualitative observations
+(section 3.2.1), pinned against the model-free oracle pipeline so they
+are independent of prediction-model training noise."""
+
+import pytest
+
+from repro.analysis import level_curve
+from repro.core import PowerLens, PowerLensConfig
+from repro.hw import jetson_agx_xavier, jetson_tx2
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def tx2_lens():
+    return PowerLens(jetson_tx2(), PowerLensConfig())
+
+
+@pytest.fixture(scope="module")
+def agx_lens():
+    return PowerLens(jetson_agx_xavier(), PowerLensConfig())
+
+
+class TestObservation1SmallNetworks:
+    """"Smaller networks ... lack a sufficient number of operators for
+    clustering" — and gain least from DVFS headroom."""
+
+    def test_small_nets_have_less_headroom(self):
+        tx2 = jetson_tx2()
+        small = level_curve(tx2, build_model("alexnet"), 16).headroom()
+        large = level_curve(tx2, build_model("resnet152"), 16).headroom()
+        assert small < large
+
+
+class TestObservation2BlockStructure:
+    def test_vgg_splits_trunk_from_head(self, tx2_lens):
+        """The conv trunk and the memory-bound fc head are separate
+        power blocks with far-apart target levels."""
+        plan = tx2_lens.oracle_plan(build_model("vgg19"))
+        assert plan.n_blocks >= 2
+        assert plan.levels[0] - plan.levels[-1] >= 3
+
+    def test_alexnet_head_gets_low_level(self, tx2_lens):
+        plan = tx2_lens.oracle_plan(build_model("alexnet"))
+        if plan.n_blocks >= 2:
+            assert plan.levels[-1] < plan.levels[0]
+
+    def test_mobilenet_prefers_low_levels(self, tx2_lens):
+        """Depthwise-dominated networks are memory-bound: every block's
+        target sits in the lower half of the ladder."""
+        plan = tx2_lens.oracle_plan(build_model("mobilenet_v3"))
+        n_levels = tx2_lens.platform.n_levels
+        assert all(lvl <= n_levels // 2 for lvl in plan.levels)
+
+
+class TestObservation3TransformerMerging:
+    def test_vit_repeated_blocks_merge(self, tx2_lens):
+        """Paper: 'PowerLens treats the connections of repeated
+        transformer modules in the ViT model as a large power block.'"""
+        for name in ("vit_base_16", "vit_base_32"):
+            plan = tx2_lens.oracle_plan(build_model(name))
+            # The 12 encoder layers never fragment into per-layer blocks.
+            assert plan.n_blocks <= 4
+            biggest = max(len(b) for b in plan.view.blocks)
+            n_ops = len(plan.view.graph.compute_nodes())
+            assert biggest >= n_ops // 2
+
+
+class TestCrossPlatform:
+    def test_agx_headroom_exceeds_tx2(self):
+        """Table 1(b) >> Table 1(a): the AGX's steeper V/f curve leaves
+        more on the table at max frequency."""
+        graph = build_model("resnet152")
+        h_tx2 = level_curve(jetson_tx2(), graph, 16).headroom()
+        h_agx = level_curve(jetson_agx_xavier(), graph, 16).headroom()
+        assert h_agx > h_tx2 * 1.3
+
+    def test_every_paper_model_has_interior_optimum(self):
+        """The premise of the whole paper, checked for the full suite on
+        both platforms."""
+        from repro.models import PAPER_MODELS
+        for platform in (jetson_tx2(), jetson_agx_xavier()):
+            for name in PAPER_MODELS:
+                curve = level_curve(platform, build_model(name), 16)
+                assert curve.optimal_level() < platform.max_level, name
+                assert curve.headroom() > 0.1, name
+
+    def test_oracle_plans_agree_across_platforms_in_shape(self, tx2_lens,
+                                                          agx_lens):
+        """Block boundaries come from the network's structure, so the
+        two platforms should find similar granularity."""
+        graph_tx2 = build_model("googlenet")
+        graph_agx = build_model("googlenet")
+        p1 = tx2_lens.oracle_plan(graph_tx2)
+        p2 = agx_lens.oracle_plan(graph_agx)
+        assert abs(p1.n_blocks - p2.n_blocks) <= 3

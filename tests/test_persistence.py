@@ -1,0 +1,88 @@
+"""Model weight and PowerLens deployment persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_powerlens, save_powerlens
+from repro.nn import Sequential, StandardScaler, TwoBranchMLP
+from repro.nn.serialize import (
+    load_params,
+    save_params,
+    scaler_from_dict,
+    scaler_to_dict,
+)
+
+
+class TestWeightSerialization:
+    def test_sequential_roundtrip(self, tmp_path):
+        m = Sequential.mlp([4, 8, 3], seed=0)
+        save_params(m, tmp_path / "m.npz", meta={"kind": "test"})
+        m2 = Sequential.mlp([4, 8, 3], seed=99)  # different init
+        meta = load_params(m2, tmp_path / "m.npz")
+        assert meta == {"kind": "test"}
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        assert np.allclose(m.predict(x), m2.predict(x))
+
+    def test_two_branch_roundtrip(self, tmp_path):
+        m = TwoBranchMLP(4, 3, 2, seed=1)
+        save_params(m, tmp_path / "tb.npz")
+        m2 = TwoBranchMLP(4, 3, 2, seed=7)
+        load_params(m2, tmp_path / "tb.npz")
+        rng = np.random.default_rng(1)
+        xs, xt = rng.normal(size=(3, 4)), rng.normal(size=(3, 3))
+        assert np.allclose(m.predict(xs, xt), m2.predict(xs, xt))
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        save_params(Sequential.mlp([4, 8, 3]), tmp_path / "m.npz")
+        wrong = Sequential.mlp([4, 9, 3])
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_params(wrong, tmp_path / "m.npz")
+
+    def test_param_count_mismatch_rejected(self, tmp_path):
+        save_params(Sequential.mlp([4, 3]), tmp_path / "m.npz")
+        deeper = Sequential.mlp([4, 3, 3])
+        with pytest.raises(ValueError):
+            load_params(deeper, tmp_path / "m.npz")
+
+    def test_scaler_roundtrip(self):
+        s = StandardScaler().fit(
+            np.random.default_rng(0).normal(2.0, 3.0, size=(50, 4)))
+        s2 = scaler_from_dict(scaler_to_dict(s))
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        assert np.allclose(s.transform(x), s2.transform(x))
+
+    def test_unfitted_scaler_rejected(self):
+        with pytest.raises(ValueError):
+            scaler_to_dict(StandardScaler())
+
+
+class TestDeploymentPersistence:
+    def test_unfitted_lens_rejected(self, tx2, tmp_path):
+        from repro.core import PowerLens
+        with pytest.raises(ValueError):
+            save_powerlens(PowerLens(tx2), tmp_path)
+
+    def test_full_roundtrip_same_plans(self, fitted_lens, tx2, tmp_path,
+                                       small_cnn):
+        """A reloaded deployment must produce byte-identical plans."""
+        save_powerlens(fitted_lens, tmp_path / "deploy")
+        reloaded = load_powerlens(tmp_path / "deploy", tx2)
+        original = fitted_lens.analyze(small_cnn)
+        restored = reloaded.analyze(small_cnn)
+        assert restored.levels == original.levels
+        assert [b.op_indices for b in restored.view.blocks] == \
+            [b.op_indices for b in original.view.blocks]
+
+    def test_level_count_guard(self, fitted_lens, tmp_path):
+        from repro.hw import jetson_agx_xavier
+        save_powerlens(fitted_lens, tmp_path / "deploy")
+        with pytest.raises(ValueError, match="levels"):
+            load_powerlens(tmp_path / "deploy", jetson_agx_xavier())
+
+    def test_manifest_written(self, fitted_lens, tmp_path):
+        manifest = save_powerlens(fitted_lens, tmp_path / "d2")
+        assert manifest.exists()
+        import json
+        payload = json.loads(manifest.read_text())
+        assert payload["platform"] == "jetson_tx2"
+        assert len(payload["schemes"]) == len(fitted_lens.schemes)
