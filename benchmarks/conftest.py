@@ -9,6 +9,10 @@ paper-scale run is one command):
   (default 10; paper: 50).
 * ``POWERLENS_BENCH_TASKS``    — task-flow length (default 30;
   paper: 100).
+* ``POWERLENS_BENCH_JOBS``     — dataset-generation worker processes
+  (default 1; 0 = one per CPU; output is identical at any value).
+* ``POWERLENS_DATASET_CACHE``  — set to a directory to cache generated
+  datasets on disk across benchmark sessions.
 
 Fitted contexts are session-cached, so the two platform fits happen once
 for the whole benchmark session regardless of how many tables request
@@ -26,13 +30,16 @@ from repro.experiments.common import get_context
 BENCH_NETWORKS = int(os.environ.get("POWERLENS_BENCH_NETWORKS", "300"))
 BENCH_RUNS = int(os.environ.get("POWERLENS_BENCH_RUNS", "10"))
 BENCH_TASKS = int(os.environ.get("POWERLENS_BENCH_TASKS", "30"))
+BENCH_JOBS = int(os.environ.get("POWERLENS_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def tx2_context():
-    return get_context("tx2", n_networks=BENCH_NETWORKS)
+    return get_context("tx2", n_networks=BENCH_NETWORKS,
+                       n_jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
 def agx_context():
-    return get_context("agx", n_networks=BENCH_NETWORKS)
+    return get_context("agx", n_networks=BENCH_NETWORKS,
+                       n_jobs=BENCH_JOBS)

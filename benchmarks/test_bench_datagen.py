@@ -1,0 +1,71 @@
+"""Benchmark: dataset-generation scaling (serial vs process pool).
+
+The offline scheme-sweep labeling is the cost the paper's "automated
+generation of datasets" pays per platform (8 000 networks / 31 242
+blocks); ``DatasetGenerator.generate(n_jobs=N)`` fans it out over N
+worker processes with byte-identical output.  This bench records
+networks/s and blocks/s at 1 worker and at N workers on the same
+corpus and asserts the speedup when the host actually has the cores.
+
+Scale knobs:
+
+* ``POWERLENS_BENCH_DATAGEN_NETWORKS`` — corpus size (default 100).
+* ``POWERLENS_BENCH_DATAGEN_JOBS``     — pool width (default 4).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import DatasetGenerator
+from repro.hw import jetson_tx2
+
+DATAGEN_NETWORKS = int(
+    os.environ.get("POWERLENS_BENCH_DATAGEN_NETWORKS", "100"))
+DATAGEN_JOBS = int(os.environ.get("POWERLENS_BENCH_DATAGEN_JOBS", "4"))
+
+
+@pytest.mark.benchmark(group="datagen")
+def test_datagen_scaling(benchmark):
+    """1 vs N workers on one corpus: identical datasets, recorded
+    throughput, and >= 1.5x speedup at 4 workers where the CPUs exist."""
+    serial = DatasetGenerator(jetson_tx2())
+    pooled = DatasetGenerator(jetson_tx2())
+
+    a1, b1, s1 = serial.generate(DATAGEN_NETWORKS, seed=0, n_jobs=1)
+    a2, b2, s2 = benchmark.pedantic(
+        lambda: pooled.generate(DATAGEN_NETWORKS, seed=0,
+                                n_jobs=DATAGEN_JOBS),
+        rounds=1, iterations=1)
+
+    speedup = s1.wall_time_s / s2.wall_time_s
+    print()
+    print(f"dataset generation, {DATAGEN_NETWORKS} networks "
+          f"({s1.n_blocks} blocks):")
+    print(f"  n_jobs=1:  {s1.wall_time_s:6.1f}s  "
+          f"{s1.networks_per_s:6.2f} networks/s  "
+          f"{s1.blocks_per_s:7.2f} blocks/s")
+    print(f"  n_jobs={s2.n_jobs}:  {s2.wall_time_s:6.1f}s  "
+          f"{s2.networks_per_s:6.2f} networks/s  "
+          f"{s2.blocks_per_s:7.2f} blocks/s")
+    print(f"  speedup: {speedup:.2f}x  "
+          f"(host CPUs: {os.cpu_count()})")
+
+    # The parallel path must be provably equivalent at benchmark scale.
+    assert a1.x_struct.tobytes() == a2.x_struct.tobytes()
+    assert a1.x_stats.tobytes() == a2.x_stats.tobytes()
+    assert np.array_equal(a1.y, a2.y)
+    assert a1.qualities.tobytes() == a2.qualities.tobytes()
+    assert b1.x.tobytes() == b2.x.tobytes()
+    assert np.array_equal(b1.y, b2.y)
+    assert s1.blocks_per_network == s2.blocks_per_network
+
+    # Scaling only materializes with real cores under the pool.
+    if (os.cpu_count() or 1) >= DATAGEN_JOBS:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x at {DATAGEN_JOBS} workers, "
+            f"got {speedup:.2f}x")
+    else:
+        print(f"  (speedup assertion skipped: "
+              f"{os.cpu_count()} CPU(s) < {DATAGEN_JOBS} workers)")

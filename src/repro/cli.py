@@ -30,6 +30,16 @@ def _add_networks(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--networks", type=int, default=300,
                         help="synthetic training corpus size "
                              "(paper: 8000; default: 300)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="dataset-generation worker processes; "
+                             "0 = one per CPU (default: 1; output is "
+                             "identical at any value)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="regenerate datasets even when a cached "
+                             "copy exists")
+    parser.add_argument("--cache-dir", default=None,
+                        help="dataset cache directory (default: "
+                             "~/.cache/powerlens/datasets)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,16 +100,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n".join(list_models()))
         return 0
 
-    # Everything else needs a fitted context.
+    # Everything else needs a fitted context.  The CLI caches generated
+    # datasets by default (the library default is off): repeated table /
+    # figure regenerations share one corpus per configuration.
+    from repro.core.persistence import default_cache_dir
     from repro.experiments.common import get_context
+
+    n_jobs = args.jobs  # 0 = auto (one worker per CPU)
+    use_cache = not args.no_cache
+    cache_dir = args.cache_dir
+    if cache_dir is None and use_cache:
+        cache_dir = str(default_cache_dir())
 
     if args.command == "accuracy":
         from repro.experiments import run_accuracy
-        result = run_accuracy(args.platform, n_networks=args.networks)
+        result = run_accuracy(args.platform, n_networks=args.networks,
+                              n_jobs=n_jobs, use_cache=use_cache,
+                              cache_dir=cache_dir)
         print(result.format_table())
         return 0
 
-    ctx = get_context(args.platform, n_networks=args.networks)
+    ctx = get_context(args.platform, n_networks=args.networks,
+                      n_jobs=n_jobs, use_cache=use_cache,
+                      cache_dir=cache_dir)
 
     if args.command == "table1":
         from repro.experiments import run_table1

@@ -27,6 +27,9 @@ Modules
 ``pipeline``
     The end-to-end offline workflow: train once per platform, then
     ``analyze()`` any DNN into an instrumented frequency plan.
+``persistence``
+    Deployment save/load and the on-disk dataset cache keyed by a
+    content hash of the generation configuration.
 ``ablation``
     The P-R (random partitioning) and P-N (no clustering) variants of
     Table 2.
@@ -54,8 +57,16 @@ from repro.core.labeling import (
     block_optimal_level,
     scheme_quality,
     best_scheme_for_graph,
+    label_network,
+    NetworkLabels,
 )
-from repro.core.datasets import DatasetA, DatasetB, DatasetGenerator
+from repro.core.datasets import (
+    DatasetA,
+    DatasetB,
+    DatasetGenerator,
+    GenerationProgress,
+    GenerationStats,
+)
 from repro.core.predictors import (
     HyperparamPredictor,
     DecisionModel,
@@ -63,6 +74,14 @@ from repro.core.predictors import (
 from repro.core.pipeline import PowerLens, PowerLensConfig, PowerLensPlan
 from repro.core.ablation import random_partition_plan, no_clustering_plan
 from repro.core.overhead import StageTimer, OverheadReport
+from repro.core.persistence import (
+    DatasetCache,
+    dataset_cache_key,
+    default_cache_dir,
+    resolve_cache_dir,
+    save_powerlens,
+    load_powerlens,
+)
 
 __all__ = [
     "DepthwiseFeatureExtractor",
@@ -82,9 +101,13 @@ __all__ = [
     "block_optimal_level",
     "scheme_quality",
     "best_scheme_for_graph",
+    "label_network",
+    "NetworkLabels",
     "DatasetA",
     "DatasetB",
     "DatasetGenerator",
+    "GenerationProgress",
+    "GenerationStats",
     "HyperparamPredictor",
     "DecisionModel",
     "PowerLens",
@@ -94,4 +117,10 @@ __all__ = [
     "no_clustering_plan",
     "StageTimer",
     "OverheadReport",
+    "DatasetCache",
+    "dataset_cache_key",
+    "default_cache_dir",
+    "resolve_cache_dir",
+    "save_powerlens",
+    "load_powerlens",
 ]

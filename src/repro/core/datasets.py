@@ -9,17 +9,25 @@ winning view over all frequency levels, and emits:
 * **Dataset B** — global features of each block of the winning view ->
   its optimal frequency level.
 
-The paper generates 8 000 networks / 31 242 blocks; the generator scales
-to that but the experiments default to a few hundred networks so the
-full pipeline runs in CI time.  Both datasets serialize to ``.npz``.
+The paper generates 8 000 networks / 31 242 blocks.  Reaching that
+scale is a matter of throwing cores at it: ``generate(..., n_jobs=N)``
+fans the per-network work (scheme-grid clustering sweep + per-block
+frequency labeling — each network is independent of every other) out
+over a process pool.  Per-network seeds come from a spawned
+:class:`numpy.random.SeedSequence` stream and results are reassembled
+in submission order, so the output is **byte-identical for any
+``n_jobs``** — the serial path is literally the same per-network
+function executed in-process.  Both datasets serialize to ``.npz``.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,11 +35,15 @@ from repro.core.features import (
     DepthwiseFeatureExtractor,
     GlobalFeatureExtractor,
 )
-from repro.core.labeling import best_scheme_for_graph, plan_levels_for_blocks
+from repro.core.labeling import label_network
 from repro.core.schemes import ClusteringScheme, default_scheme_grid
 from repro.hw.analytic import AnalyticEvaluator
 from repro.hw.platform import PlatformSpec
-from repro.models.random_gen import RandomDNNConfig, RandomDNNGenerator
+from repro.models.random_gen import (
+    RandomDNNConfig,
+    RandomDNNGenerator,
+    spawn_seeds,
+)
 
 
 @dataclass
@@ -62,11 +74,11 @@ class DatasetA:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "DatasetA":
-        data = np.load(path)
-        qualities = data["qualities"] if "qualities" in data else None
-        return cls(x_struct=data["x_struct"], x_stats=data["x_stats"],
-                   y=data["y"], n_schemes=int(data["n_schemes"]),
-                   qualities=qualities)
+        with np.load(path) as data:
+            qualities = data["qualities"] if "qualities" in data else None
+            return cls(x_struct=data["x_struct"], x_stats=data["x_stats"],
+                       y=data["y"], n_schemes=int(data["n_schemes"]),
+                       qualities=qualities)
 
 
 @dataclass
@@ -86,8 +98,9 @@ class DatasetB:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "DatasetB":
-        data = np.load(path)
-        return cls(x=data["x"], y=data["y"], n_levels=int(data["n_levels"]))
+        with np.load(path) as data:
+            return cls(x=data["x"], y=data["y"],
+                       n_levels=int(data["n_levels"]))
 
 
 @dataclass
@@ -98,6 +111,123 @@ class GenerationStats:
     n_blocks: int = 0
     wall_time_s: float = 0.0
     blocks_per_network: List[int] = field(default_factory=list)
+    n_jobs: int = 1
+    cache_hit: bool = False
+
+    @property
+    def networks_per_s(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_networks / self.wall_time_s
+
+    @property
+    def blocks_per_s(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_blocks / self.wall_time_s
+
+
+@dataclass(frozen=True)
+class GenerationProgress:
+    """One progress tick, emitted after each network completes."""
+
+    completed: int
+    total: int
+    n_blocks: int
+    elapsed_s: float
+
+    @property
+    def networks_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    @property
+    def blocks_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.n_blocks / self.elapsed_s
+
+    def format(self) -> str:
+        return (f"{self.completed}/{self.total} networks "
+                f"({self.n_blocks} blocks, "
+                f"{self.networks_per_s:.2f} networks/s, "
+                f"{self.blocks_per_s:.2f} blocks/s)")
+
+
+ProgressCallback = Callable[[GenerationProgress], None]
+
+
+@dataclass(frozen=True)
+class _NetworkTask:
+    """Self-contained description of one unit of generation work."""
+
+    index: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class _NetworkResult:
+    """Per-network rows for both datasets, tagged with the submission
+    index so reassembly order never depends on worker scheduling."""
+
+    index: int
+    x_struct: np.ndarray
+    x_stats: np.ndarray
+    best_scheme: int
+    qualities: np.ndarray
+    block_x: np.ndarray
+    levels: np.ndarray
+
+
+def _generate_one(gen: "DatasetGenerator", task: _NetworkTask
+                  ) -> _NetworkResult:
+    """Generate and label one network.  Pure function of ``(gen
+    configuration, task)`` — shared by the serial and pool paths."""
+    dnn = RandomDNNGenerator(gen.dnn_config, seed=task.seed,
+                             start_index=task.index)
+    graph = dnn.generate()
+    feats = gen.depthwise.extract_scaled(graph)
+    global_feats = gen.global_.extract(graph)
+    labels = label_network(
+        gen.evaluator, graph, feats, gen.schemes,
+        batch_size=gen.batch_size, latency_slack=gen.latency_slack,
+        alpha=gen.alpha, lam=gen.lam)
+    if labels.blocks:
+        block_x = np.vstack([gen.global_.extract(graph, block).vector
+                             for block in labels.blocks])
+    else:  # degenerate view: no rows for Dataset B
+        block_x = np.empty((0, global_feats.vector.shape[0]))
+    return _NetworkResult(
+        index=task.index,
+        x_struct=global_feats.structural,
+        x_stats=global_feats.statistics,
+        best_scheme=labels.best_scheme,
+        qualities=np.asarray(labels.qualities, dtype=float),
+        block_x=block_x,
+        levels=np.asarray(labels.levels, dtype=int),
+    )
+
+
+# Per-process generator, built once by the pool initializer so each task
+# submission only ships a (index, seed) pair, not the whole platform.
+_WORKER_GENERATOR: Optional["DatasetGenerator"] = None
+
+
+def _init_worker(platform: PlatformSpec,
+                 schemes: Sequence[ClusteringScheme], batch_size: int,
+                 latency_slack: float, alpha: float, lam: float,
+                 dnn_config: RandomDNNConfig) -> None:
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = DatasetGenerator(
+        platform, schemes=schemes, batch_size=batch_size,
+        latency_slack=latency_slack, alpha=alpha, lam=lam,
+        dnn_config=dnn_config)
+
+
+def _pool_worker(task: _NetworkTask) -> _NetworkResult:
+    assert _WORKER_GENERATOR is not None, "pool initializer did not run"
+    return _generate_one(_WORKER_GENERATOR, task)
 
 
 class DatasetGenerator:
@@ -120,57 +250,107 @@ class DatasetGenerator:
         self.global_ = GlobalFeatureExtractor()
 
     # ------------------------------------------------------------------
-    def generate(self, n_networks: int,
-                 seed: int = 0) -> Tuple[DatasetA, DatasetB, GenerationStats]:
-        """Generate both datasets from ``n_networks`` random networks."""
+    def generate(self, n_networks: int, seed: int = 0,
+                 n_jobs: Optional[int] = 1,
+                 progress: Optional[ProgressCallback] = None
+                 ) -> Tuple[DatasetA, DatasetB, GenerationStats]:
+        """Generate both datasets from ``n_networks`` random networks.
+
+        ``n_jobs`` is the worker-process count: ``1`` runs in-process,
+        ``None`` (or any value < 1) means one worker per CPU.  Every
+        network draws its seed from the same spawned
+        :class:`~numpy.random.SeedSequence` stream and results are
+        reassembled in submission order, so the datasets are identical
+        regardless of ``n_jobs``.  ``progress`` (if given) is called
+        with a :class:`GenerationProgress` after each network.
+        """
         if n_networks < 1:
             raise ValueError("need at least one network")
+        if n_jobs is None or n_jobs < 1:
+            n_jobs = os.cpu_count() or 1
+        n_jobs = min(int(n_jobs), n_networks)
         t0 = time.perf_counter()
-        gen = RandomDNNGenerator(self.dnn_config, seed=seed)
+        tasks = [_NetworkTask(index=i, seed=s)
+                 for i, s in enumerate(spawn_seeds(seed, n_networks))]
+
+        blocks_done = 0
+
+        def tick(result: _NetworkResult, completed: int) -> None:
+            nonlocal blocks_done
+            blocks_done += len(result.levels)
+            if progress is not None:
+                progress(GenerationProgress(
+                    completed=completed, total=n_networks,
+                    n_blocks=blocks_done,
+                    elapsed_s=time.perf_counter() - t0))
+
+        if n_jobs == 1:
+            results: List[Optional[_NetworkResult]] = []
+            for task in tasks:
+                results.append(_generate_one(self, task))
+                tick(results[-1], len(results))
+        else:
+            results = self._generate_pooled(tasks, n_jobs, tick)
+
+        stats = GenerationStats(n_jobs=n_jobs)
         xs_struct: List[np.ndarray] = []
         xs_stats: List[np.ndarray] = []
         ya: List[int] = []
+        qual_rows: List[np.ndarray] = []
         xb: List[np.ndarray] = []
-        yb: List[int] = []
-        qual_rows: List[List[float]] = []
-        stats = GenerationStats()
-
-        for _ in range(n_networks):
-            graph = gen.generate()
-            feats = self.depthwise.extract_scaled(graph)
-            global_feats = self.global_.extract(graph)
-            best_idx, blocks, _qualities = best_scheme_for_graph(
-                self.evaluator, graph, feats, self.schemes,
-                batch_size=self.batch_size,
-                latency_slack=self.latency_slack,
-                alpha=self.alpha, lam=self.lam)
-            xs_struct.append(global_feats.structural)
-            xs_stats.append(global_feats.statistics)
-            ya.append(best_idx)
-            qual_rows.append(_qualities)
-
-            levels = plan_levels_for_blocks(
-                self.evaluator, graph, blocks,
-                batch_size=self.batch_size,
-                latency_slack=self.latency_slack)
-            for block, level in zip(blocks, levels):
-                xb.append(self.global_.extract(graph, block).vector)
-                yb.append(level)
-            stats.blocks_per_network.append(len(blocks))
+        yb: List[np.ndarray] = []
+        for result in results:
+            assert result is not None
+            xs_struct.append(result.x_struct)
+            xs_stats.append(result.x_stats)
+            ya.append(result.best_scheme)
+            qual_rows.append(result.qualities)
+            xb.append(result.block_x)
+            yb.append(result.levels)
+            stats.blocks_per_network.append(len(result.levels))
 
         stats.n_networks = n_networks
-        stats.n_blocks = len(yb)
+        stats.n_blocks = int(sum(len(y) for y in yb))
         stats.wall_time_s = time.perf_counter() - t0
         dataset_a = DatasetA(
             x_struct=np.vstack(xs_struct),
             x_stats=np.vstack(xs_stats),
             y=np.asarray(ya, dtype=int),
             n_schemes=len(self.schemes),
-            qualities=np.asarray(qual_rows, dtype=float),
+            qualities=np.vstack(qual_rows),
         )
         dataset_b = DatasetB(
             x=np.vstack(xb),
-            y=np.asarray(yb, dtype=int),
+            y=np.concatenate(yb).astype(int),
             n_levels=self.platform.n_levels,
         )
         return dataset_a, dataset_b, stats
+
+    # ------------------------------------------------------------------
+    def _generate_pooled(self, tasks: Sequence[_NetworkTask], n_jobs: int,
+                         tick: Callable[[_NetworkResult, int], None]
+                         ) -> List[Optional[_NetworkResult]]:
+        """Fan the per-network work out over a process pool.
+
+        Workers are primed once with the generator configuration (pool
+        initializer), each submission ships only an ``(index, seed)``
+        pair, and the result slot is chosen by the task's submission
+        index — worker scheduling cannot reorder the datasets.
+        """
+        results: List[Optional[_NetworkResult]] = [None] * len(tasks)
+        initargs = (self.platform, list(self.schemes), self.batch_size,
+                    self.latency_slack, self.alpha, self.lam,
+                    self.dnn_config)
+        completed = 0
+        with ProcessPoolExecutor(max_workers=n_jobs,
+                                 initializer=_init_worker,
+                                 initargs=initargs) as pool:
+            pending = {pool.submit(_pool_worker, task) for task in tasks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    results[result.index] = result
+                    completed += 1
+                    tick(result, completed)
+        return results

@@ -12,6 +12,7 @@ Two exhaustive-sweep oracles:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -96,3 +97,45 @@ def best_scheme_for_graph(
                   if q >= top * (1.0 - quality_tolerance)]
     best = min(candidates, key=lambda i: (-len(views[i]), i))
     return best, views[best], qualities
+
+
+@dataclass(frozen=True)
+class NetworkLabels:
+    """Complete labeling of one network (both datasets' targets).
+
+    ``best_scheme`` and ``qualities`` are the Dataset-A row; ``blocks``
+    and ``levels`` (the winning view and its swept-optimal frequency
+    plan) are the Dataset-B rows.
+    """
+
+    best_scheme: int
+    blocks: List[List[int]]
+    qualities: List[float]
+    levels: List[int]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def label_network(evaluator: AnalyticEvaluator, graph: Graph,
+                  features: np.ndarray,
+                  schemes: Sequence[ClusteringScheme], *,
+                  batch_size: int = 16, latency_slack: float = 0.25,
+                  alpha: float = 0.6, lam: float = 0.05) -> NetworkLabels:
+    """Label one network end-to-end: scheme sweep + per-block frequency
+    sweep of the winning view.
+
+    This is the pure per-network unit of work of the dataset generator —
+    it depends only on its arguments, so the serial and process-pool
+    generation paths share it verbatim and their outputs are
+    byte-identical.
+    """
+    best_idx, blocks, qualities = best_scheme_for_graph(
+        evaluator, graph, features, schemes, batch_size=batch_size,
+        latency_slack=latency_slack, alpha=alpha, lam=lam)
+    levels = plan_levels_for_blocks(
+        evaluator, graph, blocks, batch_size=batch_size,
+        latency_slack=latency_slack)
+    return NetworkLabels(best_scheme=best_idx, blocks=blocks,
+                         qualities=qualities, levels=levels)

@@ -1,23 +1,37 @@
-"""Save / load a fitted PowerLens deployment.
+"""Save / load PowerLens artefacts.
 
-``save_powerlens`` writes a directory with the two prediction models'
-weights, their feature scalers, the scheme grid and the framework
-configuration; ``load_powerlens`` reconstructs a ready-to-analyze
-:class:`~repro.core.pipeline.PowerLens` against a platform — the
-artefact a real deployment would ship to the board after the offline
-training phase.
+Two layers of persistence:
+
+* **Deployments** — ``save_powerlens`` writes a directory with the two
+  prediction models' weights, their feature scalers, the scheme grid
+  and the framework configuration; ``load_powerlens`` reconstructs a
+  ready-to-analyze :class:`~repro.core.pipeline.PowerLens` against a
+  platform — the artefact a real deployment would ship to the board
+  after the offline training phase.
+* **Dataset cache** — :class:`DatasetCache` memoizes the expensive
+  scheme-sweep labeling on disk.  Entries are keyed by
+  :func:`dataset_cache_key`, a content hash of everything the generated
+  datasets depend on (platform spec, scheme grid, random-DNN config,
+  labeling hyper-parameters, corpus size and seed), so a repeated
+  ``PowerLens.fit()`` with an identical configuration skips generation
+  entirely while any configuration change misses cleanly.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Union
+from typing import Optional, Sequence, Tuple, Union
 
+from repro.core.datasets import DatasetA, DatasetB, GenerationStats
 from repro.core.pipeline import PowerLens, PowerLensConfig
 from repro.core.predictors import DecisionModel, HyperparamPredictor
 from repro.core.schemes import ClusteringScheme
 from repro.hw.platform import PlatformSpec
+from repro.models.random_gen import RandomDNNConfig
 from repro.nn.serialize import (
     load_params,
     save_params,
@@ -28,6 +42,14 @@ from repro.nn.serialize import (
 _MANIFEST = "powerlens.json"
 _HYPER_WEIGHTS = "hyperparam_model.npz"
 _DECISION_WEIGHTS = "decision_model.npz"
+
+#: Bumped whenever the generated-dataset layout changes incompatibly,
+#: invalidating every existing cache entry.
+DATASET_CACHE_VERSION = 1
+
+#: Environment variable that switches the dataset cache on globally
+#: (e.g. for benchmark runs) without touching any call site.
+DATASET_CACHE_ENV = "POWERLENS_DATASET_CACHE"
 
 
 def save_powerlens(lens: PowerLens, directory: Union[str, Path]) -> Path:
@@ -112,3 +134,148 @@ def load_powerlens(directory: Union[str, Path],
     lens.hyperparam_model = hyper
     lens.decision_model = decision
     return lens
+
+
+# ----------------------------------------------------------------------
+# dataset cache
+# ----------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """Conventional per-user dataset cache location."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "powerlens" / "datasets"
+
+
+def resolve_cache_dir(cache_dir: Optional[Union[str, Path]] = None
+                      ) -> Optional[Path]:
+    """Effective cache directory: the explicit argument if given, else
+    the :data:`DATASET_CACHE_ENV` environment variable, else ``None``
+    (caching disabled)."""
+    if cache_dir is not None:
+        return Path(cache_dir).expanduser()
+    env = os.environ.get(DATASET_CACHE_ENV)
+    if env:
+        return Path(env).expanduser()
+    return None
+
+
+def dataset_cache_key(platform: PlatformSpec,
+                      schemes: Sequence[ClusteringScheme],
+                      dnn_config: RandomDNNConfig, *, batch_size: int,
+                      latency_slack: float, alpha: float, lam: float,
+                      n_networks: int, seed: int) -> str:
+    """Content hash of everything the generated datasets depend on.
+
+    Any change to the platform's power/performance model, the scheme
+    grid, the random-DNN population, the labeling hyper-parameters or
+    the corpus ``(n_networks, seed)`` yields a different key — two runs
+    that share a key would generate byte-identical datasets.
+    """
+    payload = {
+        "version": DATASET_CACHE_VERSION,
+        "platform": dataclasses.asdict(platform),
+        "schemes": [[s.eps, s.min_pts] for s in schemes],
+        "dnn_config": dataclasses.asdict(dnn_config),
+        "batch_size": batch_size,
+        "latency_slack": latency_slack,
+        "alpha": alpha,
+        "lam": lam,
+        "n_networks": n_networks,
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+class DatasetCache:
+    """On-disk store of generated ``(DatasetA, DatasetB)`` pairs.
+
+    Each entry is three files named after its key — ``<key>.a.npz``,
+    ``<key>.b.npz`` and a ``<key>.json`` manifest written last, so a
+    crashed ``store`` never yields a loadable half-entry.  The manifest
+    records the full key; a mismatch (hash collision on the truncated
+    filename, or a tampered entry) is treated as a miss.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"dataset cache path {self.directory} exists and is "
+                f"not a directory")
+
+    def _paths(self, key: str) -> Tuple[Path, Path, Path]:
+        stem = self.directory / key
+        return (stem.with_suffix(".json"), stem.with_suffix(".a.npz"),
+                stem.with_suffix(".b.npz"))
+
+    def has(self, key: str) -> bool:
+        manifest, path_a, path_b = self._paths(key)
+        if not (manifest.exists() and path_a.exists()
+                and path_b.exists()):
+            return False
+        try:
+            meta = json.loads(manifest.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return meta.get("key") == key
+
+    def load(self, key: str
+             ) -> Optional[Tuple[DatasetA, DatasetB, GenerationStats]]:
+        """Return the cached entry for ``key``, or ``None`` on a miss.
+
+        The returned stats carry the *original* generation cost with
+        ``cache_hit=True``, so callers can both report the hit and see
+        what it saved."""
+        if not self.has(key):
+            return None
+        manifest, path_a, path_b = self._paths(key)
+        meta = json.loads(manifest.read_text())
+        try:
+            dataset_a = DatasetA.load(path_a)
+            dataset_b = DatasetB.load(path_b)
+        except (OSError, ValueError, KeyError):
+            return None
+        stats_meta = meta.get("stats", {})
+        stats = GenerationStats(
+            n_networks=int(stats_meta.get("n_networks", len(dataset_a))),
+            n_blocks=int(stats_meta.get("n_blocks", len(dataset_b))),
+            wall_time_s=float(stats_meta.get("wall_time_s", 0.0)),
+            blocks_per_network=list(
+                stats_meta.get("blocks_per_network", [])),
+            n_jobs=int(stats_meta.get("n_jobs", 1)),
+            cache_hit=True,
+        )
+        return dataset_a, dataset_b, stats
+
+    def store(self, key: str, dataset_a: DatasetA, dataset_b: DatasetB,
+              stats: GenerationStats) -> Path:
+        """Persist one entry; returns the manifest path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest, path_a, path_b = self._paths(key)
+        dataset_a.save(path_a)
+        dataset_b.save(path_b)
+        meta = {
+            "key": key,
+            "stats": {
+                "n_networks": stats.n_networks,
+                "n_blocks": stats.n_blocks,
+                "wall_time_s": stats.wall_time_s,
+                "blocks_per_network": list(stats.blocks_per_network),
+                "n_jobs": stats.n_jobs,
+            },
+        }
+        manifest.write_text(json.dumps(meta, indent=1))
+        return manifest
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files
+        removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.iterdir():
+            if path.suffix in (".json", ".npz") and path.is_file():
+                path.unlink()
+                removed += 1
+        return removed

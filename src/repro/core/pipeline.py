@@ -25,7 +25,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.clustering import cluster_power_blocks
-from repro.core.datasets import DatasetGenerator, GenerationStats
+from repro.core.datasets import (
+    DatasetGenerator,
+    GenerationStats,
+    ProgressCallback,
+)
 from repro.core.features import (
     DepthwiseFeatureExtractor,
     GlobalFeatureExtractor,
@@ -39,6 +43,7 @@ from repro.governors.preset import FrequencyPlan, PlanStep, PresetGovernor
 from repro.graph import Graph
 from repro.hw.analytic import AnalyticEvaluator
 from repro.hw.platform import PlatformSpec
+from repro.models.random_gen import RandomDNNConfig
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,15 @@ class PowerLensConfig:
     corpus (the paper uses 8 000 — the default here trades a little
     accuracy for minutes-scale training; pass the paper's value for full
     fidelity).
+
+    ``n_jobs`` is the dataset-generation worker count (``<= 0`` means
+    one per CPU); generation is byte-identical at any value.
+    ``cache_dir`` points the on-disk dataset cache somewhere explicit;
+    when ``None`` the ``POWERLENS_DATASET_CACHE`` environment variable
+    is consulted, and caching stays off if neither is set.
+    ``use_cache=False`` forces it off regardless.  ``dnn_config``
+    overrides the random-DNN population (it participates in the cache
+    key).
     """
 
     batch_size: int = 16
@@ -61,6 +75,10 @@ class PowerLensConfig:
     schemes: Sequence[ClusteringScheme] = field(
         default_factory=default_scheme_grid)
     seed: int = 0
+    n_jobs: int = 1
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    dnn_config: Optional[RandomDNNConfig] = None
 
 
 @dataclass
@@ -189,23 +207,53 @@ class PowerLens:
     # offline training
     # ------------------------------------------------------------------
     def fit(self, n_networks: Optional[int] = None, seed: Optional[int] = None,
-            verbose: bool = False) -> TrainingSummary:
+            verbose: bool = False, n_jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None,
+            progress: Optional[ProgressCallback] = None) -> TrainingSummary:
         """Generate datasets and train both prediction models.
 
         Fully automated — this is the paper's "transferring to a new
         hardware platform simply involves the automated generation of
-        datasets and training" (section 2.3.1).
+        datasets and training" (section 2.3.1).  ``n_jobs``/``use_cache``
+        override the config's dataset-generation parallelism and on-disk
+        cache policy for this call; ``progress`` receives per-network
+        generation throughput ticks.
         """
+        # Local import: persistence imports this module at top level.
+        from repro.core.persistence import (
+            DatasetCache,
+            dataset_cache_key,
+            resolve_cache_dir,
+        )
+
         cfg = self.config
         n_networks = n_networks if n_networks is not None else cfg.n_networks
         seed = seed if seed is not None else cfg.seed
+        n_jobs = n_jobs if n_jobs is not None else cfg.n_jobs
+        use_cache = use_cache if use_cache is not None else cfg.use_cache
         generator = DatasetGenerator(
             self.platform, schemes=self.schemes,
             batch_size=cfg.batch_size, latency_slack=cfg.latency_slack,
-            alpha=cfg.alpha, lam=cfg.lam)
+            alpha=cfg.alpha, lam=cfg.lam, dnn_config=cfg.dnn_config)
+
+        cache_dir = resolve_cache_dir(cfg.cache_dir) if use_cache else None
+        cache = DatasetCache(cache_dir) if cache_dir is not None else None
+        key = dataset_cache_key(
+            self.platform, self.schemes, generator.dnn_config,
+            batch_size=cfg.batch_size, latency_slack=cfg.latency_slack,
+            alpha=cfg.alpha, lam=cfg.lam, n_networks=n_networks,
+            seed=seed) if cache is not None else None
+
         with self.overhead.stage("dataset generation"):
-            dataset_a, dataset_b, gen_stats = generator.generate(
-                n_networks, seed=seed)
+            cached = cache.load(key) if cache is not None else None
+            if cached is not None:
+                dataset_a, dataset_b, gen_stats = cached
+            else:
+                dataset_a, dataset_b, gen_stats = generator.generate(
+                    n_networks, seed=seed, n_jobs=n_jobs,
+                    progress=progress)
+                if cache is not None:
+                    cache.store(key, dataset_a, dataset_b, gen_stats)
 
         self.hyperparam_model = HyperparamPredictor(
             self.schemes,

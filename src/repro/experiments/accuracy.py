@@ -49,12 +49,15 @@ class AccuracyResult:
 
 def run_accuracy(platform_name: str = "tx2", n_networks: int = 400,
                  seed: int = 0,
-                 lens: Optional[PowerLens] = None) -> AccuracyResult:
+                 lens: Optional[PowerLens] = None, n_jobs: int = 1,
+                 use_cache: bool = True,
+                 cache_dir: Optional[str] = None) -> AccuracyResult:
     """Train both models from scratch and report held-out accuracy."""
     if lens is None:
         platform = get_platform(platform_name)
-        lens = PowerLens(platform, PowerLensConfig(n_networks=n_networks,
-                                                   seed=seed))
+        lens = PowerLens(platform, PowerLensConfig(
+            n_networks=n_networks, seed=seed, n_jobs=n_jobs,
+            use_cache=use_cache, cache_dir=cache_dir))
         summary = lens.fit()
     else:
         summary = lens.training_summary

@@ -68,13 +68,22 @@ _CONTEXT_CACHE: Dict[tuple, ExperimentContext] = {}
 
 def get_context(platform_name: str,
                 n_networks: int = DEFAULT_N_NETWORKS,
-                seed: int = 0) -> ExperimentContext:
-    """Memoized fitted context for a platform preset name."""
+                seed: int = 0, n_jobs: int = 1,
+                use_cache: bool = True,
+                cache_dir: Optional[str] = None) -> ExperimentContext:
+    """Memoized fitted context for a platform preset name.
+
+    ``n_jobs``/``use_cache``/``cache_dir`` steer dataset generation only
+    — the generated corpus (and therefore the fitted models) is
+    identical for any value, so they are not part of the memoization
+    key.
+    """
     key = (platform_name, n_networks, seed)
     if key not in _CONTEXT_CACHE:
         platform = get_platform(platform_name)
-        lens = PowerLens(platform, PowerLensConfig(n_networks=n_networks,
-                                                   seed=seed))
+        lens = PowerLens(platform, PowerLensConfig(
+            n_networks=n_networks, seed=seed, n_jobs=n_jobs,
+            use_cache=use_cache, cache_dir=cache_dir))
         lens.fit()
         _CONTEXT_CACHE[key] = ExperimentContext(platform=platform,
                                                 lens=lens)

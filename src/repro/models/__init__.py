@@ -14,7 +14,8 @@ from repro.models.zoo import (
     register_model,
     PAPER_MODELS,
 )
-from repro.models.random_gen import RandomDNNGenerator, RandomDNNConfig
+from repro.models.random_gen import (RandomDNNGenerator, RandomDNNConfig,
+                                     spawn_seeds)
 
 __all__ = [
     "build_model",
@@ -23,4 +24,5 @@ __all__ = [
     "PAPER_MODELS",
     "RandomDNNGenerator",
     "RandomDNNConfig",
+    "spawn_seeds",
 ]

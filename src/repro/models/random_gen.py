@@ -18,6 +18,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.graph import Graph, GraphBuilder
 from repro.graph.ops import OpType
 from repro.graph.validate import assert_valid
@@ -54,14 +56,36 @@ class RandomDNNConfig:
     num_classes: int = 1000
 
 
+def spawn_seeds(seed: int, n: int) -> List[int]:
+    """Deterministic per-network seed stream.
+
+    ``numpy.random.SeedSequence(seed).spawn(n)`` yields statistically
+    independent child sequences; collapsing each child to one 64-bit
+    integer gives a seed per network that depends only on ``(seed, i)``
+    — never on how networks are distributed across workers.  This is
+    what lets :meth:`repro.core.datasets.DatasetGenerator.generate`
+    produce byte-identical datasets at any ``n_jobs``.
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of seeds")
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
 class RandomDNNGenerator:
-    """Seedable generator of random-but-valid DNN graphs."""
+    """Seedable generator of random-but-valid DNN graphs.
+
+    ``start_index`` offsets the generated graph names
+    (``random_dnn_{i}``) so per-network generators — one per spawned
+    seed — name their output exactly as a single sequential generator
+    would.
+    """
 
     def __init__(self, config: Optional[RandomDNNConfig] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, start_index: int = 0) -> None:
         self.config = config or RandomDNNConfig()
         self._rng = random.Random(seed)
-        self._count = 0
+        self._count = start_index
 
     # ------------------------------------------------------------------
     def generate(self) -> Graph:

@@ -37,21 +37,22 @@ def save_params(model, path: Union[str, Path],
 def load_params(model, path: Union[str, Path]) -> dict:
     """Load parameters saved by :func:`save_params` into ``model``
     (shapes must match); returns the metadata dict."""
-    data = np.load(path)
-    params = _collect_params(model)
-    for i, p in enumerate(params):
-        key = f"param_{i}"
-        if key not in data:
-            raise ValueError(
-                f"archive has {len(data) - 1} params, model needs "
-                f"{len(params)}")
-        saved = data[key]
-        if saved.shape != p.shape:
-            raise ValueError(
-                f"param {i} shape mismatch: archive {saved.shape} vs "
-                f"model {p.shape}")
-        p[...] = saved
-    meta_raw = data["meta"].tobytes().decode() if "meta" in data else "{}"
+    with np.load(path) as data:
+        params = _collect_params(model)
+        for i, p in enumerate(params):
+            key = f"param_{i}"
+            if key not in data:
+                raise ValueError(
+                    f"archive has {len(data) - 1} params, model needs "
+                    f"{len(params)}")
+            saved = data[key]
+            if saved.shape != p.shape:
+                raise ValueError(
+                    f"param {i} shape mismatch: archive {saved.shape} vs "
+                    f"model {p.shape}")
+            p[...] = saved
+        meta_raw = data["meta"].tobytes().decode() if "meta" in data \
+            else "{}"
     return json.loads(meta_raw)
 
 
