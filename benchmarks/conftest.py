@@ -43,3 +43,12 @@ def tx2_context():
 def agx_context():
     return get_context("agx", n_networks=BENCH_NETWORKS,
                        n_jobs=BENCH_JOBS)
+
+
+@pytest.fixture(scope="session")
+def robustness_scales():
+    """Fault-profile multipliers swept by the robustness benchmark:
+    the zero-fault anchor, half, the representative profile (the
+    acceptance bar: 5 % dropped switches, 2 % telemetry dropouts, one
+    thermal-cap window) and double."""
+    return (0.0, 0.5, 1.0, 2.0)

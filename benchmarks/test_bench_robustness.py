@@ -1,0 +1,73 @@
+"""Benchmark: EE-gain retention under injected faults (robustness).
+
+Sweeps fault-profile scales on both platforms and prints the retention
+table.  Asserts the PR's acceptance bar: under the representative
+profile (5 % dropped switches, 2 % telemetry dropouts, one thermal-cap
+window sized to the workload by ``run_robustness``) the resilient
+preset runtime keeps at least 80 % of its zero-fault EE gain over BiM,
+the naive fire-and-forget runtime keeps measurably less, and retention
+degrades gracefully (no cliff at the first non-zero scale).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments.robustness import run_robustness
+
+_RESULTS = {}
+
+
+def _robustness(context, platform, scales):
+    if platform not in _RESULTS:
+        _RESULTS[platform] = run_robustness(
+            platform, n_runs=BENCH_RUNS, scales=scales, context=context)
+    return _RESULTS[platform]
+
+
+def _rep_index(result) -> int:
+    return result.scales.index(1.0)
+
+
+@pytest.mark.faults
+@pytest.mark.benchmark(group="robustness")
+def test_robustness_tx2(benchmark, tx2_context, robustness_scales):
+    result = benchmark.pedantic(
+        lambda: _robustness(tx2_context, "tx2", robustness_scales),
+        rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    i = _rep_index(result)
+    assert result.gain("resilient", 0) > 0, "no zero-fault gain to retain"
+    assert result.retention("resilient", i) >= 0.80
+    assert result.retention("naive", i) < result.retention("resilient", i)
+
+
+@pytest.mark.faults
+@pytest.mark.benchmark(group="robustness")
+def test_robustness_agx(benchmark, agx_context, robustness_scales):
+    result = benchmark.pedantic(
+        lambda: _robustness(agx_context, "agx", robustness_scales),
+        rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    i = _rep_index(result)
+    assert result.gain("resilient", 0) > 0, "no zero-fault gain to retain"
+    assert result.retention("resilient", i) >= 0.80
+    assert result.retention("naive", i) < result.retention("resilient", i)
+
+
+@pytest.mark.faults
+@pytest.mark.benchmark(group="robustness")
+def test_graceful_degradation_tx2(benchmark, tx2_context,
+                                  robustness_scales):
+    """Retention must fall smoothly with fault scale, not cliff-edge:
+    each doubling of the profile costs a bounded slice of the gain."""
+    result = benchmark.pedantic(
+        lambda: _robustness(tx2_context, "tx2", robustness_scales),
+        rounds=1, iterations=1)
+    retentions = [result.retention("resilient", i)
+                  for i in range(len(result.scales))]
+    assert retentions[0] == pytest.approx(1.0)
+    # Even at twice the representative profile, the resilient runtime
+    # keeps most of its gain — no collapse to the naive floor.
+    assert retentions[-1] >= 0.5

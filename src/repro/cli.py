@@ -10,7 +10,14 @@ figure of the paper can be regenerated from a shell::
     powerlens figure5 --tasks 20
     powerlens accuracy --networks 400
     powerlens analyze --model vgg19 --platform tx2
+    powerlens robustness --platform tx2 --fault-profile representative
     powerlens models
+
+``--fault-profile`` (robustness) takes ``none``, ``representative``
+(the default: 5 % dropped switches, 2 % telemetry dropouts and one
+floor-clamping thermal window sized from the measured fault-free run)
+or an explicit ``key=value,...`` spec, e.g.
+``switch_drop_rate=0.05,telemetry_drop_rate=0.02,cap=0.25:0.6:6``.
 """
 
 from __future__ import annotations
@@ -88,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_networks(p)
     p.add_argument("--model", default="resnet152")
 
+    p = sub.add_parser("robustness",
+                       help="EE-gain retention under injected faults "
+                            "(resilient vs. naive preset runtime)")
+    _add_platform(p)
+    _add_networks(p)
+    p.add_argument("--runs", type=int, default=10,
+                   help="randomized runs per EE test")
+    p.add_argument("--models", nargs="*", default=None)
+    p.add_argument("--fault-profile", default="representative",
+                   help="'none', 'representative' or a key=value,... "
+                        "spec (cap windows as cap=start:end:level)")
+    p.add_argument("--scales", nargs="*", type=float, default=None,
+                   help="fault-profile multipliers to sweep "
+                        "(default: 0 0.5 1 2)")
+
     sub.add_parser("models", help="list available model names")
     return parser
 
@@ -123,6 +145,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     ctx = get_context(args.platform, n_networks=args.networks,
                       n_jobs=n_jobs, use_cache=use_cache,
                       cache_dir=cache_dir)
+    summary = getattr(ctx.lens, "training_summary", None)
+    if summary is not None and summary.generation.n_quarantined:
+        gen = summary.generation
+        print(f"warning: {gen.n_quarantined} network(s) quarantined "
+              f"during dataset generation after {gen.n_retries} "
+              f"retries: {gen.quarantined}", file=sys.stderr)
 
     if args.command == "table1":
         from repro.experiments import run_table1
@@ -142,6 +170,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import run_figure5
         result = run_figure5(args.platform, n_tasks=args.tasks,
                              context=ctx)
+    elif args.command == "robustness":
+        from repro.experiments import run_robustness
+        from repro.hw import FaultProfile
+        # "representative" is left as None so run_robustness can size
+        # the thermal-cap window from the measured zero-fault horizon.
+        spec = args.fault_profile.strip().lower()
+        profile = (None if spec in ("representative", "rep")
+                   else FaultProfile.parse(args.fault_profile))
+        kwargs = {}
+        if args.scales:
+            kwargs["scales"] = args.scales
+        result = run_robustness(args.platform, models=args.models,
+                                n_runs=args.runs, profile=profile,
+                                context=ctx, **kwargs)
     elif args.command == "analyze":
         plan = ctx.lens.analyze(ctx.graph(args.model))
         print(plan.summary())

@@ -38,6 +38,11 @@ from repro.core.features import (
 from repro.core.labeling import label_network
 from repro.core.schemes import ClusteringScheme, default_scheme_grid
 from repro.hw.analytic import AnalyticEvaluator
+from repro.hw.faults import (
+    FaultProfile,
+    TransientWorkerError,
+    worker_fault,
+)
 from repro.hw.platform import PlatformSpec
 from repro.models.random_gen import (
     RandomDNNConfig,
@@ -105,7 +110,13 @@ class DatasetB:
 
 @dataclass
 class GenerationStats:
-    """Bookkeeping from one generation run."""
+    """Bookkeeping from one generation run.
+
+    ``n_networks`` counts networks that made it into the datasets;
+    ``quarantined`` lists submission indices whose labeling kept failing
+    after ``n_retries``-counted bounded retries and were dropped rather
+    than aborting the run.
+    """
 
     n_networks: int = 0
     n_blocks: int = 0
@@ -113,6 +124,12 @@ class GenerationStats:
     blocks_per_network: List[int] = field(default_factory=list)
     n_jobs: int = 1
     cache_hit: bool = False
+    n_retries: int = 0
+    quarantined: List[int] = field(default_factory=list)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
 
     @property
     def networks_per_s(self) -> float:
@@ -158,12 +175,25 @@ class GenerationProgress:
 ProgressCallback = Callable[[GenerationProgress], None]
 
 
+#: Bounded retries per network before quarantine (initial try + 2).
+MAX_TASK_RETRIES = 2
+
+
 @dataclass(frozen=True)
 class _NetworkTask:
     """Self-contained description of one unit of generation work."""
 
     index: int
     seed: int
+    attempt: int = 0
+
+    def retry(self) -> "_NetworkTask":
+        """Next attempt of this task with a fresh spawned seed, so a
+        seed-correlated failure is not simply replayed."""
+        seq = np.random.SeedSequence((self.seed, self.attempt + 1))
+        fresh = int(seq.generate_state(1, dtype=np.uint64)[0])
+        return _NetworkTask(index=self.index, seed=fresh,
+                            attempt=self.attempt + 1)
 
 
 @dataclass(frozen=True)
@@ -184,6 +214,10 @@ def _generate_one(gen: "DatasetGenerator", task: _NetworkTask
                   ) -> _NetworkResult:
     """Generate and label one network.  Pure function of ``(gen
     configuration, task)`` — shared by the serial and pool paths."""
+    if worker_fault(gen.faults, task.index, task.attempt):
+        raise TransientWorkerError(
+            f"injected labeling failure: network {task.index} "
+            f"attempt {task.attempt}")
     dnn = RandomDNNGenerator(gen.dnn_config, seed=task.seed,
                              start_index=task.index)
     graph = dnn.generate()
@@ -217,12 +251,13 @@ _WORKER_GENERATOR: Optional["DatasetGenerator"] = None
 def _init_worker(platform: PlatformSpec,
                  schemes: Sequence[ClusteringScheme], batch_size: int,
                  latency_slack: float, alpha: float, lam: float,
-                 dnn_config: RandomDNNConfig) -> None:
+                 dnn_config: RandomDNNConfig,
+                 faults: Optional[FaultProfile]) -> None:
     global _WORKER_GENERATOR
     _WORKER_GENERATOR = DatasetGenerator(
         platform, schemes=schemes, batch_size=batch_size,
         latency_slack=latency_slack, alpha=alpha, lam=lam,
-        dnn_config=dnn_config)
+        dnn_config=dnn_config, faults=faults)
 
 
 def _pool_worker(task: _NetworkTask) -> _NetworkResult:
@@ -237,7 +272,8 @@ class DatasetGenerator:
                  schemes: Optional[Sequence[ClusteringScheme]] = None,
                  batch_size: int = 16, latency_slack: float = 0.25,
                  alpha: float = 0.6, lam: float = 0.05,
-                 dnn_config: Optional[RandomDNNConfig] = None) -> None:
+                 dnn_config: Optional[RandomDNNConfig] = None,
+                 faults: Optional[FaultProfile] = None) -> None:
         self.platform = platform
         self.schemes = list(schemes) if schemes else default_scheme_grid()
         self.batch_size = batch_size
@@ -245,6 +281,7 @@ class DatasetGenerator:
         self.alpha = alpha
         self.lam = lam
         self.dnn_config = dnn_config or RandomDNNConfig()
+        self.faults = faults
         self.evaluator = AnalyticEvaluator(platform)
         self.depthwise = DepthwiseFeatureExtractor()
         self.global_ = GlobalFeatureExtractor()
@@ -263,6 +300,14 @@ class DatasetGenerator:
         reassembled in submission order, so the datasets are identical
         regardless of ``n_jobs``.  ``progress`` (if given) is called
         with a :class:`GenerationProgress` after each network.
+
+        A network whose labeling raises is retried up to
+        :data:`MAX_TASK_RETRIES` times with a fresh spawned seed; one
+        that keeps failing is *quarantined* — dropped from the datasets
+        and reported in :class:`GenerationStats` — instead of aborting
+        the whole run.  Retry decisions are deterministic per task, so
+        faults change neither the reassembly order nor the datasets'
+        independence from ``n_jobs``.
         """
         if n_networks < 1:
             raise ValueError("need at least one network")
@@ -273,6 +318,7 @@ class DatasetGenerator:
         tasks = [_NetworkTask(index=i, seed=s)
                  for i, s in enumerate(spawn_seeds(seed, n_networks))]
 
+        stats = GenerationStats(n_jobs=n_jobs)
         blocks_done = 0
 
         def tick(result: _NetworkResult, completed: int) -> None:
@@ -285,22 +331,31 @@ class DatasetGenerator:
                     elapsed_s=time.perf_counter() - t0))
 
         if n_jobs == 1:
-            results: List[Optional[_NetworkResult]] = []
+            results: List[Optional[_NetworkResult]] = [None] * len(tasks)
+            completed = 0
             for task in tasks:
-                results.append(_generate_one(self, task))
-                tick(results[-1], len(results))
+                result = self._run_with_retries(task, stats)
+                if result is None:
+                    continue
+                results[task.index] = result
+                completed += 1
+                tick(result, completed)
         else:
-            results = self._generate_pooled(tasks, n_jobs, tick)
+            results = self._generate_pooled(tasks, n_jobs, tick, stats)
 
-        stats = GenerationStats(n_jobs=n_jobs)
+        stats.quarantined.sort()
+        survivors = [r for r in results if r is not None]
+        if not survivors:
+            raise RuntimeError(
+                f"all {n_networks} networks were quarantined "
+                f"({stats.n_retries} retries) — nothing to train on")
         xs_struct: List[np.ndarray] = []
         xs_stats: List[np.ndarray] = []
         ya: List[int] = []
         qual_rows: List[np.ndarray] = []
         xb: List[np.ndarray] = []
         yb: List[np.ndarray] = []
-        for result in results:
-            assert result is not None
+        for result in survivors:
             xs_struct.append(result.x_struct)
             xs_stats.append(result.x_stats)
             ya.append(result.best_scheme)
@@ -309,7 +364,7 @@ class DatasetGenerator:
             yb.append(result.levels)
             stats.blocks_per_network.append(len(result.levels))
 
-        stats.n_networks = n_networks
+        stats.n_networks = len(survivors)
         stats.n_blocks = int(sum(len(y) for y in yb))
         stats.wall_time_s = time.perf_counter() - t0
         dataset_a = DatasetA(
@@ -327,28 +382,57 @@ class DatasetGenerator:
         return dataset_a, dataset_b, stats
 
     # ------------------------------------------------------------------
+    def _run_with_retries(self, task: _NetworkTask,
+                          stats: GenerationStats
+                          ) -> Optional[_NetworkResult]:
+        """Serial path: execute one task through the retry ladder;
+        ``None`` means the network was quarantined."""
+        while True:
+            try:
+                return _generate_one(self, task)
+            except Exception:
+                if task.attempt >= MAX_TASK_RETRIES:
+                    stats.quarantined.append(task.index)
+                    return None
+                stats.n_retries += 1
+                task = task.retry()
+
     def _generate_pooled(self, tasks: Sequence[_NetworkTask], n_jobs: int,
-                         tick: Callable[[_NetworkResult, int], None]
+                         tick: Callable[[_NetworkResult, int], None],
+                         stats: GenerationStats
                          ) -> List[Optional[_NetworkResult]]:
         """Fan the per-network work out over a process pool.
 
         Workers are primed once with the generator configuration (pool
-        initializer), each submission ships only an ``(index, seed)``
-        pair, and the result slot is chosen by the task's submission
-        index — worker scheduling cannot reorder the datasets.
+        initializer), each submission ships only an ``(index, seed,
+        attempt)`` triple, and the result slot is chosen by the task's
+        submission index — worker scheduling cannot reorder the
+        datasets.  A task whose worker raises is resubmitted (fresh
+        seed, bounded attempts) rather than poisoning the pool; tasks
+        that exhaust their retries are quarantined.
         """
         results: List[Optional[_NetworkResult]] = [None] * len(tasks)
         initargs = (self.platform, list(self.schemes), self.batch_size,
                     self.latency_slack, self.alpha, self.lam,
-                    self.dnn_config)
+                    self.dnn_config, self.faults)
         completed = 0
         with ProcessPoolExecutor(max_workers=n_jobs,
                                  initializer=_init_worker,
                                  initargs=initargs) as pool:
-            pending = {pool.submit(_pool_worker, task) for task in tasks}
+            pending = {pool.submit(_pool_worker, task): task
+                       for task in tasks}
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
+                    task = pending.pop(future)
+                    if future.exception() is not None:
+                        if task.attempt >= MAX_TASK_RETRIES:
+                            stats.quarantined.append(task.index)
+                            continue
+                        stats.n_retries += 1
+                        retry = task.retry()
+                        pending[pool.submit(_pool_worker, retry)] = retry
+                        continue
                     result = future.result()
                     results[result.index] = result
                     completed += 1

@@ -30,6 +30,7 @@ from repro.core.datasets import DatasetA, DatasetB, GenerationStats
 from repro.core.pipeline import PowerLens, PowerLensConfig
 from repro.core.predictors import DecisionModel, HyperparamPredictor
 from repro.core.schemes import ClusteringScheme
+from repro.hw.faults import FaultProfile
 from repro.hw.platform import PlatformSpec
 from repro.models.random_gen import RandomDNNConfig
 from repro.nn.serialize import (
@@ -44,8 +45,9 @@ _HYPER_WEIGHTS = "hyperparam_model.npz"
 _DECISION_WEIGHTS = "decision_model.npz"
 
 #: Bumped whenever the generated-dataset layout changes incompatibly,
-#: invalidating every existing cache entry.
-DATASET_CACHE_VERSION = 1
+#: invalidating every existing cache entry.  v2: manifests carry the
+#: version and payload checksums; entries without them are evicted.
+DATASET_CACHE_VERSION = 2
 
 #: Environment variable that switches the dataset cache on globally
 #: (e.g. for benchmark runs) without touching any call site.
@@ -163,13 +165,18 @@ def dataset_cache_key(platform: PlatformSpec,
                       schemes: Sequence[ClusteringScheme],
                       dnn_config: RandomDNNConfig, *, batch_size: int,
                       latency_slack: float, alpha: float, lam: float,
-                      n_networks: int, seed: int) -> str:
+                      n_networks: int, seed: int,
+                      fault_profile: Optional[FaultProfile] = None
+                      ) -> str:
     """Content hash of everything the generated datasets depend on.
 
     Any change to the platform's power/performance model, the scheme
     grid, the random-DNN population, the labeling hyper-parameters or
     the corpus ``(n_networks, seed)`` yields a different key — two runs
-    that share a key would generate byte-identical datasets.
+    that share a key would generate byte-identical datasets.  A
+    non-zero ``fault_profile`` changes the datasets (retried seeds,
+    quarantined networks) and therefore the key; ``None`` and an
+    all-zero profile hash identically to the pre-fault layout.
     """
     payload = {
         "version": DATASET_CACHE_VERSION,
@@ -183,8 +190,19 @@ def dataset_cache_key(platform: PlatformSpec,
         "n_networks": n_networks,
         "seed": seed,
     }
+    if fault_profile is not None and not fault_profile.is_zero:
+        payload["fault_profile"] = fault_profile.to_dict()
     blob = json.dumps(payload, sort_keys=True, default=list)
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def _file_sha256(path: Path) -> str:
+    """Streaming sha256 of one file's bytes."""
+    h = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
 
 
 class DatasetCache:
@@ -193,8 +211,11 @@ class DatasetCache:
     Each entry is three files named after its key — ``<key>.a.npz``,
     ``<key>.b.npz`` and a ``<key>.json`` manifest written last, so a
     crashed ``store`` never yields a loadable half-entry.  The manifest
-    records the full key; a mismatch (hash collision on the truncated
-    filename, or a tampered entry) is treated as a miss.
+    records the full key, the cache format version and a sha256 of each
+    payload file; any discrepancy — missing file, stale version,
+    truncated or bit-flipped payload, key mismatch — is treated as a
+    miss and the damaged entry is evicted so the next ``store``
+    regenerates it cleanly.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -209,32 +230,72 @@ class DatasetCache:
         return (stem.with_suffix(".json"), stem.with_suffix(".a.npz"),
                 stem.with_suffix(".b.npz"))
 
-    def has(self, key: str) -> bool:
+    def evict(self, key: str) -> int:
+        """Remove whatever files of entry ``key`` exist; returns the
+        number deleted."""
+        removed = 0
+        for path in self._paths(key):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def _manifest_for(self, key: str) -> Optional[dict]:
+        """Validated manifest of entry ``key``, or ``None``.
+
+        Checks existence of all three files, manifest integrity, the
+        recorded key, and the cache format version — everything short
+        of hashing the payloads.
+        """
         manifest, path_a, path_b = self._paths(key)
         if not (manifest.exists() and path_a.exists()
                 and path_b.exists()):
-            return False
+            return None
         try:
             meta = json.loads(manifest.read_text())
         except (OSError, json.JSONDecodeError):
-            return False
-        return meta.get("key") == key
+            return None
+        if meta.get("key") != key:
+            return None
+        if meta.get("version") != DATASET_CACHE_VERSION:
+            return None
+        return meta
+
+    def has(self, key: str) -> bool:
+        return self._manifest_for(key) is not None
 
     def load(self, key: str
              ) -> Optional[Tuple[DatasetA, DatasetB, GenerationStats]]:
         """Return the cached entry for ``key``, or ``None`` on a miss.
 
-        The returned stats carry the *original* generation cost with
-        ``cache_hit=True``, so callers can both report the hit and see
-        what it saved."""
-        if not self.has(key):
+        Payload checksums are verified against the manifest before the
+        arrays are deserialized; corrupt, truncated or stale entries
+        are evicted on the spot.  The returned stats carry the
+        *original* generation cost with ``cache_hit=True``, so callers
+        can both report the hit and see what it saved."""
+        meta = self._manifest_for(key)
+        if meta is None:
+            self.evict(key)
             return None
         manifest, path_a, path_b = self._paths(key)
-        meta = json.loads(manifest.read_text())
+        checksums = meta.get("checksums", {})
+        try:
+            payloads_ok = (
+                checksums.get("a") == _file_sha256(path_a)
+                and checksums.get("b") == _file_sha256(path_b)
+            )
+        except OSError:
+            payloads_ok = False
+        if not payloads_ok:
+            self.evict(key)
+            return None
         try:
             dataset_a = DatasetA.load(path_a)
             dataset_b = DatasetB.load(path_b)
         except (OSError, ValueError, KeyError):
+            self.evict(key)
             return None
         stats_meta = meta.get("stats", {})
         stats = GenerationStats(
@@ -245,6 +306,8 @@ class DatasetCache:
                 stats_meta.get("blocks_per_network", [])),
             n_jobs=int(stats_meta.get("n_jobs", 1)),
             cache_hit=True,
+            n_retries=int(stats_meta.get("n_retries", 0)),
+            quarantined=list(stats_meta.get("quarantined", [])),
         )
         return dataset_a, dataset_b, stats
 
@@ -257,12 +320,19 @@ class DatasetCache:
         dataset_b.save(path_b)
         meta = {
             "key": key,
+            "version": DATASET_CACHE_VERSION,
+            "checksums": {
+                "a": _file_sha256(path_a),
+                "b": _file_sha256(path_b),
+            },
             "stats": {
                 "n_networks": stats.n_networks,
                 "n_blocks": stats.n_blocks,
                 "wall_time_s": stats.wall_time_s,
                 "blocks_per_network": list(stats.blocks_per_network),
                 "n_jobs": stats.n_jobs,
+                "n_retries": stats.n_retries,
+                "quarantined": list(stats.quarantined),
             },
         }
         manifest.write_text(json.dumps(meta, indent=1))

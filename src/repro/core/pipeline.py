@@ -42,6 +42,7 @@ from repro.core.schemes import ClusteringScheme, default_scheme_grid
 from repro.governors.preset import FrequencyPlan, PlanStep, PresetGovernor
 from repro.graph import Graph
 from repro.hw.analytic import AnalyticEvaluator
+from repro.hw.faults import FaultProfile
 from repro.hw.platform import PlatformSpec
 from repro.models.random_gen import RandomDNNConfig
 
@@ -64,7 +65,9 @@ class PowerLensConfig:
     is consulted, and caching stays off if neither is set.
     ``use_cache=False`` forces it off regardless.  ``dnn_config``
     overrides the random-DNN population (it participates in the cache
-    key).
+    key).  ``fault_profile`` injects transient labeling-worker failures
+    during dataset generation (robustness testing; a non-zero profile
+    participates in the cache key).
     """
 
     batch_size: int = 16
@@ -79,6 +82,7 @@ class PowerLensConfig:
     use_cache: bool = True
     cache_dir: Optional[str] = None
     dnn_config: Optional[RandomDNNConfig] = None
+    fault_profile: Optional[FaultProfile] = None
 
 
 @dataclass
@@ -111,10 +115,15 @@ class TrainingSummary:
 
     def format(self) -> str:
         h, d = self.hyperparam_report, self.decision_report
+        g = self.generation
+        quarantine = ""
+        if g.n_quarantined or g.n_retries:
+            quarantine = (f" [{g.n_quarantined} quarantined, "
+                          f"{g.n_retries} retries]")
         return (
-            f"dataset: {self.generation.n_networks} networks, "
-            f"{self.generation.n_blocks} blocks "
-            f"({self.generation.wall_time_s:.1f}s)\n"
+            f"dataset: {g.n_networks} networks, "
+            f"{g.n_blocks} blocks "
+            f"({g.wall_time_s:.1f}s){quarantine}\n"
             f"hyperparameter model: test acc {h.test_accuracy:.1%}, "
             f"scheme-equivalent {h.equivalent_accuracy:.1%} "
             f"({h.epochs} epochs, {h.wall_time_s:.1f}s)\n"
@@ -234,7 +243,8 @@ class PowerLens:
         generator = DatasetGenerator(
             self.platform, schemes=self.schemes,
             batch_size=cfg.batch_size, latency_slack=cfg.latency_slack,
-            alpha=cfg.alpha, lam=cfg.lam, dnn_config=cfg.dnn_config)
+            alpha=cfg.alpha, lam=cfg.lam, dnn_config=cfg.dnn_config,
+            faults=cfg.fault_profile)
 
         cache_dir = resolve_cache_dir(cfg.cache_dir) if use_cache else None
         cache = DatasetCache(cache_dir) if cache_dir is not None else None
@@ -242,7 +252,8 @@ class PowerLens:
             self.platform, self.schemes, generator.dnn_config,
             batch_size=cfg.batch_size, latency_slack=cfg.latency_slack,
             alpha=cfg.alpha, lam=cfg.lam, n_networks=n_networks,
-            seed=seed) if cache is not None else None
+            seed=seed,
+            fault_profile=cfg.fault_profile) if cache is not None else None
 
         with self.overhead.stage("dataset generation"):
             cached = cache.load(key) if cache is not None else None
@@ -318,6 +329,7 @@ class PowerLens:
             graph_name=graph.name,
             steps=[PlanStep(op_index=b.start, level=lvl)
                    for b, lvl in zip(view.blocks, levels)],
+            graph_fingerprint=graph.fingerprint(),
         )
         return PowerLensPlan(view=view, levels=levels, plan=plan)
 
@@ -376,16 +388,22 @@ class PowerLens:
             graph_name=graph.name,
             steps=[PlanStep(op_index=b.start, level=lvl)
                    for b, lvl in zip(view.blocks, levels)],
+            graph_fingerprint=graph.fingerprint(),
         )
         return PowerLensPlan(view=view, levels=levels, plan=plan)
 
     def governor(self, graphs: Sequence[Graph],
-                 oracle: bool = False) -> PresetGovernor:
-        """Preset governor carrying plans for ``graphs``."""
+                 oracle: bool = False,
+                 resilient: bool = True) -> PresetGovernor:
+        """Preset governor carrying plans for ``graphs``.
+
+        ``resilient=False`` returns the naive fire-and-forget runtime —
+        only useful as the robustness-experiment baseline.
+        """
         make = self.oracle_plan if oracle else self.analyze
         plans = [make(g).plan for g in graphs]
         name = "powerlens-oracle" if oracle else "powerlens"
-        return PresetGovernor(plans, name=name)
+        return PresetGovernor(plans, name=name, resilient=resilient)
 
     # ------------------------------------------------------------------
     def overhead_report(self) -> OverheadReport:

@@ -14,6 +14,9 @@ benchmark harness regenerates each artefact verbatim:
   trace versus PowerLens's preset trace.
 * :mod:`~repro.experiments.accuracy` — prediction-model accuracy and
   dataset statistics (section 2.2).
+* :mod:`~repro.experiments.robustness` — EE-gain retention of the
+  resilient vs. naive preset runtime under injected faults (not in the
+  paper; deployment-hardening evidence).
 """
 
 from repro.experiments.common import ExperimentContext, get_context
@@ -23,6 +26,7 @@ from repro.experiments.table3 import run_table3, Table3Result
 from repro.experiments.figure1 import run_figure1, Figure1Result
 from repro.experiments.figure5 import run_figure5, Figure5Result
 from repro.experiments.accuracy import run_accuracy, AccuracyResult
+from repro.experiments.robustness import run_robustness, RobustnessResult
 
 __all__ = [
     "ExperimentContext",
@@ -39,4 +43,6 @@ __all__ = [
     "Figure5Result",
     "run_accuracy",
     "AccuracyResult",
+    "run_robustness",
+    "RobustnessResult",
 ]

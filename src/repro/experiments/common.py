@@ -21,7 +21,12 @@ from repro.governors import (
     fpg_g,
 )
 from repro.graph import Graph
-from repro.hw import InferenceSimulator, PlatformSpec, get_platform
+from repro.hw import (
+    FaultProfile,
+    InferenceSimulator,
+    PlatformSpec,
+    get_platform,
+)
 from repro.models import build_model
 from repro.models.zoo import PAPER_MODELS
 
@@ -49,18 +54,22 @@ class ExperimentContext:
 
     def simulator(self, noise_std: float = 0.02, seed: int = 0,
                   keep_trace: bool = False,
-                  keep_samples: bool = False) -> InferenceSimulator:
+                  keep_samples: bool = False,
+                  faults: Optional[FaultProfile] = None
+                  ) -> InferenceSimulator:
         return InferenceSimulator(
             self.platform, sample_period=0.02, noise_std=noise_std,
-            seed=seed, keep_trace=keep_trace, keep_samples=keep_samples)
+            seed=seed, keep_trace=keep_trace, keep_samples=keep_samples,
+            faults=faults)
 
     def baseline_governors(self) -> List[Governor]:
         """The paper's three baselines, in table order."""
         return [OndemandGovernor(), fpg_g(), fpg_cg()]
 
-    def powerlens_governor(self, model_names: Sequence[str]
-                           ) -> PresetGovernor:
-        return self.lens.governor([self.graph(m) for m in model_names])
+    def powerlens_governor(self, model_names: Sequence[str],
+                           resilient: bool = True) -> PresetGovernor:
+        return self.lens.governor([self.graph(m) for m in model_names],
+                                  resilient=resilient)
 
 
 _CONTEXT_CACHE: Dict[tuple, ExperimentContext] = {}

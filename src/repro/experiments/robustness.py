@@ -1,0 +1,176 @@
+"""Robustness sweep: how much EE gain survives actuation faults.
+
+The paper evaluates PowerLens on a fault-free testbed.  This driver
+answers the deployment question: when DVFS commands drop, thermal caps
+clamp the clock and telemetry windows go missing, how much of the
+preset runtime's energy-efficiency advantage over the built-in governor
+survives — and how much of that survival is owed to the degradation
+ladder (verify-after-switch, block pinning, safe-level fallback) rather
+than to luck?
+
+For each fault-profile scale we run the full model suite under three
+runtimes over the *same* deterministic fault sequence:
+
+* **resilient** — :class:`~repro.governors.preset.PresetGovernor` with
+  the degradation ladder enabled (the shipping configuration);
+* **naive** — the same plans, fire-and-forget (no verify, no retry, no
+  fallback);
+* **bim** — the built-in simple_ondemand baseline.
+
+The headline metric is *retention*: the EE gain over BiM at fault scale
+``s`` divided by the gain at scale 0.  Graceful degradation means
+retention falls smoothly with ``s`` and stays high at the
+representative profile (the acceptance bar is ≥ 80 % for the resilient
+runtime); a cliff-edge runtime loses most of its gain as soon as faults
+appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_N_RUNS,
+    ExperimentContext,
+    get_context,
+    paper_models,
+)
+from repro.governors import OndemandGovernor, PresetGovernor
+from repro.hw import FaultProfile
+from repro.workloads.taskflow import DEFAULT_BATCH_SIZE, make_model_job
+
+#: Fault-profile multipliers swept by default; 0 is the fault-free
+#: anchor the retention metric normalizes against, 1 the representative
+#: profile of the acceptance criteria.
+DEFAULT_SCALES = (0.0, 0.5, 1.0, 2.0)
+
+#: Runtime labels, in table order.
+RUNTIMES = ("resilient", "naive", "bim")
+
+
+@dataclass
+class RobustnessResult:
+    """EE of each runtime at each fault scale, plus health counters."""
+
+    platform: str
+    profile: Optional[FaultProfile]
+    scales: List[float] = field(default_factory=list)
+    ee: Dict[str, List[float]] = field(default_factory=dict)
+    health: List[Dict[str, int]] = field(default_factory=list)
+    fault_totals: List[int] = field(default_factory=list)
+
+    def gain(self, runtime: str, i: int) -> float:
+        """EE gain of ``runtime`` over BiM at scale index ``i``."""
+        base = self.ee["bim"][i]
+        if base <= 0:
+            return 0.0
+        return (self.ee[runtime][i] - base) / base
+
+    def retention(self, runtime: str, i: int) -> float:
+        """Fraction of the zero-fault gain surviving at scale ``i``."""
+        g0 = self.gain(runtime, 0)
+        if g0 <= 0:
+            return 0.0
+        return self.gain(runtime, i) / g0
+
+    def format_table(self) -> str:
+        title = (f"Robustness: EE gain retention under faults on "
+                 f"{self.platform}")
+        lines = [title, "=" * len(title),
+                 f"{'scale':>6s} " + " ".join(
+                     f"{'EE ' + r:>13s}" for r in RUNTIMES)
+                 + f" {'gain res':>9s} {'gain nv':>9s}"
+                 + f" {'ret res':>8s} {'ret nv':>8s}"]
+        for i, s in enumerate(self.scales):
+            ee_cols = " ".join(
+                f"{self.ee[r][i]:>13.4f}" for r in RUNTIMES)
+            lines.append(
+                f"{s:>6.2f} {ee_cols}"
+                f" {self.gain('resilient', i) * 100:>+8.2f}%"
+                f" {self.gain('naive', i) * 100:>+8.2f}%"
+                f" {self.retention('resilient', i) * 100:>7.1f}%"
+                f" {self.retention('naive', i) * 100:>7.1f}%")
+        if self.health:
+            last = self.health[-1]
+            lines.append(
+                "resilient runtime health at max scale: "
+                + ", ".join(f"{k}={v}" for k, v in last.items() if v))
+        return "\n".join(lines)
+
+
+def run_robustness(platform_name: str = "tx2",
+                   models: Optional[Sequence[str]] = None,
+                   scales: Sequence[float] = DEFAULT_SCALES,
+                   profile: Optional[FaultProfile] = None,
+                   n_runs: int = DEFAULT_N_RUNS,
+                   batch_size: int = DEFAULT_BATCH_SIZE,
+                   repeats: int = 3,
+                   context: Optional[ExperimentContext] = None,
+                   seed: int = 0) -> RobustnessResult:
+    """Sweep fault-profile scales and measure EE-gain retention.
+
+    The workload is a round-robin task flow — the model suite repeated
+    ``repeats`` times with ``n_runs`` batches per task — because a
+    serving deployment alternates networks, and every task boundary
+    whose plan level differs from the previous task's is a real
+    actuation that faults can hit.  When no ``profile`` is given, the
+    representative profile's thermal-cap window is sized to the
+    workload (measured by the fault-free anchor run) so the thermal
+    event stresses the flow identically at any ``n_runs``/``repeats``
+    configuration.  Every (scale, runtime) cell runs the same jobs
+    under the same simulator seed and the same deterministic fault
+    sequence, so the only difference between the resilient and naive
+    rows is the degradation ladder.
+    """
+    ctx = context or get_context(platform_name)
+    models = list(models) if models else paper_models()
+    if 0.0 not in scales:
+        scales = [0.0, *scales]
+    scales = sorted(set(float(s) for s in scales))
+
+    graphs = [ctx.graph(m) for m in models]
+    jobs = [make_model_job(g, n_runs=n_runs, batch_size=batch_size)
+            for _ in range(max(1, repeats)) for g in graphs]
+    plans = [ctx.lens.analyze(g).plan for g in graphs]
+
+    result = RobustnessResult(platform=ctx.platform.name,
+                              profile=profile)
+    horizon: Optional[float] = None
+    for scale in scales:
+        if scale == 0.0:
+            faults = None
+        else:
+            if profile is None:
+                # Size the representative profile's thermal window to
+                # the workload: the fault-free anchor (always run
+                # first) measured how long the flow actually takes.
+                profile = FaultProfile.representative(seed=seed,
+                                                      horizon=horizon)
+                result.profile = profile
+            prof = profile.scaled(scale)
+            faults = None if prof.is_zero else prof
+        resilient = PresetGovernor(plans, name="powerlens",
+                                   resilient=True)
+        naive = PresetGovernor(plans, name="powerlens-naive",
+                               resilient=False)
+        runtimes = {"resilient": resilient, "naive": naive,
+                    "bim": OndemandGovernor()}
+        fault_total = 0
+        for label, gov in runtimes.items():
+            sim = ctx.simulator(seed=seed, faults=faults)
+            report = sim.run(jobs, gov)
+            result.ee.setdefault(label, []).append(
+                report.report.energy_efficiency)
+            if label == "resilient":
+                if report.fault_stats is not None:
+                    fault_total = report.fault_stats.total
+                if scale == 0.0:
+                    horizon = report.report.total_time
+        result.scales.append(scale)
+        result.health.append(resilient.health.to_dict())
+        result.fault_totals.append(fault_total)
+    if result.profile is None:
+        result.profile = FaultProfile.representative(seed=seed,
+                                                     horizon=horizon)
+    return result

@@ -13,17 +13,28 @@
   bound used to sanity-check the decision model.
 """
 
-from repro.governors.base import Governor, GOVERNOR_REGISTRY, make_governor
+from repro.governors.base import (
+    Governor,
+    GOVERNOR_REGISTRY,
+    make_governor,
+    sample_is_valid,
+)
 from repro.governors.static import StaticGovernor
 from repro.governors.ondemand import OndemandGovernor
 from repro.governors.fpg import FPGGovernor, fpg_g, fpg_cg
-from repro.governors.preset import PresetGovernor, FrequencyPlan, PlanStep
+from repro.governors.preset import (
+    PresetGovernor,
+    FrequencyPlan,
+    PlanStep,
+    RuntimeHealth,
+)
 from repro.governors.oracle import OracleGovernor
 
 __all__ = [
     "Governor",
     "GOVERNOR_REGISTRY",
     "make_governor",
+    "sample_is_valid",
     "StaticGovernor",
     "OndemandGovernor",
     "FPGGovernor",
@@ -32,5 +43,6 @@ __all__ = [
     "PresetGovernor",
     "FrequencyPlan",
     "PlanStep",
+    "RuntimeHealth",
     "OracleGovernor",
 ]

@@ -17,11 +17,35 @@ a target GPU level (or ``None`` for "no change"):
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional
 
 from repro.hw.perf import OpWork
 from repro.hw.platform import PlatformSpec
 from repro.hw.telemetry import TelemetrySample
+
+
+def sample_is_valid(sample: TelemetrySample) -> bool:
+    """Sanity-check one telemetry window before acting on it.
+
+    Fault injection (and real sensors) can hand governors degenerate
+    windows; reactive governors treat an invalid sample like a dropped
+    one — hold the last action rather than steer on garbage.  Note
+    dropped windows are never delivered at all (see
+    :meth:`repro.hw.faults.FaultInjector.deliver_sample`); this guards
+    against the delivered-but-broken case.
+    """
+    numbers = (sample.period, sample.gpu_busy, sample.compute_util,
+               sample.memory_util, sample.gpu_power, sample.cpu_power,
+               sample.total_power, sample.cpu_busy)
+    if any(not math.isfinite(x) for x in numbers):
+        return False
+    if sample.period <= 0:
+        return False
+    if sample.gpu_power < 0 or sample.cpu_power < 0 or \
+            sample.total_power < 0:
+        return False
+    return True
 
 
 class Governor:

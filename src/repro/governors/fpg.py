@@ -26,7 +26,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.governors.base import Governor, register_governor
+from repro.governors.base import (
+    Governor,
+    register_governor,
+    sample_is_valid,
+)
 from repro.hw.platform import PlatformSpec
 from repro.hw.telemetry import TelemetrySample
 
@@ -82,6 +86,10 @@ class FPGGovernor(Governor):
 
     def on_sample(self, sample: TelemetrySample) -> Optional[int]:
         assert self.platform is not None
+        if not sample_is_valid(sample):
+            # Telemetry fault: hold the last action and keep the search
+            # state — a broken window must not poison the proxy.
+            return None
         p = self.platform
         if sample.gpu_busy < self.idle_threshold:
             # Idle: park low, forget the search state.

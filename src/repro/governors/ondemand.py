@@ -20,7 +20,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.governors.base import Governor, register_governor
+from repro.governors.base import (
+    Governor,
+    register_governor,
+    sample_is_valid,
+)
 from repro.hw.platform import PlatformSpec
 from repro.hw.telemetry import TelemetrySample
 
@@ -51,6 +55,10 @@ class OndemandGovernor(Governor):
 
     def on_sample(self, sample: TelemetrySample) -> Optional[int]:
         assert self.platform is not None
+        if not sample_is_valid(sample):
+            # Telemetry fault: hold the last action (dropped windows
+            # never reach us at all, so this covers broken ones).
+            return None
         load = sample.gpu_busy
         cur = sample.gpu_level
         if load > self.up_threshold:

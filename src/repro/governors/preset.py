@@ -6,14 +6,37 @@ carrying the block's target level, so the frequency is already correct
 when the block's first kernel launches — no reactive lag and no
 ping-pong.  The plan itself is produced offline by
 :class:`repro.core.pipeline.PowerLens` (or by the oracle / ablations).
+
+Resilience (this module's second half): real actuators fail.  In
+``resilient`` mode (the default) the governor verifies every switch
+result the simulator reports back and walks a degradation ladder:
+
+1. **retry** — a failed command is re-issued up to ``max_retries``
+   times at the same decision point;
+2. **pin** — when retries are exhausted, the block is pinned at the
+   nearest achieved level and not fought over again this job;
+3. **fall back** — after ``max_block_failures`` pinned blocks in one
+   job, the plan is abandoned and the job finishes at a safe static
+   level (the plan's median level unless ``safe_level`` is given).
+
+Plans are validated when installed (levels clamped to the platform
+ladder) and again at job start (operator indices must fit the graph,
+and a recorded graph fingerprint must match).  Every decision is
+counted in :class:`RuntimeHealth`.  With ``resilient=False`` the
+governor is the naive fire-and-forget runtime used as the robustness
+baseline.
 """
 
 from __future__ import annotations
 
+import statistics
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.governors.base import Governor
+from repro.hw.dvfs import SwitchResult
+from repro.hw.faults import OUTCOME_CAPPED
 from repro.hw.perf import OpWork
 from repro.hw.platform import PlatformSpec
 
@@ -33,10 +56,16 @@ class FrequencyPlan:
 
     ``steps`` must be sorted by ``op_index`` and start at operator 0 so
     every operator executes under an explicitly chosen level.
+
+    ``graph_fingerprint`` optionally records
+    :meth:`repro.graph.Graph.fingerprint` of the graph the plan was
+    computed for; the preset governor refuses to apply the plan to a
+    same-named graph whose fingerprint differs (stale-plan detection).
     """
 
     graph_name: str
     steps: List[PlanStep] = field(default_factory=list)
+    graph_fingerprint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.steps:
@@ -46,19 +75,23 @@ class FrequencyPlan:
             raise ValueError("plan steps must be strictly increasing")
         if self.steps[0].op_index != 0:
             raise ValueError("plan must cover the graph from operator 0")
+        if any(s.op_index < 0 for s in self.steps):
+            raise ValueError("plan op indices must be non-negative")
+        self._indices = indices
+        self._levels = [s.level for s in self.steps]
 
     @property
     def n_blocks(self) -> int:
         return len(self.steps)
 
+    @property
+    def max_op_index(self) -> int:
+        return self.steps[-1].op_index
+
     def level_for_op(self, op_index: int) -> int:
         """Level in force while ``op_index`` executes."""
-        level = self.steps[0].level
-        for step in self.steps:
-            if step.op_index > op_index:
-                break
-            level = step.level
-        return level
+        i = bisect_right(self._indices, op_index) - 1
+        return self._levels[i if i >= 0 else 0]
 
     def switch_indices(self) -> List[int]:
         """Operator indices where the level actually changes."""
@@ -70,6 +103,66 @@ class FrequencyPlan:
             prev = step.level
         return result
 
+    def clamped(self, platform: PlatformSpec) -> "FrequencyPlan":
+        """Copy of this plan with every level clamped to ``platform``'s
+        ladder; returns ``self`` when nothing needs clamping."""
+        if all(platform.clamp_level(s.level) == s.level
+               for s in self.steps):
+            return self
+        return FrequencyPlan(
+            graph_name=self.graph_name,
+            steps=[PlanStep(s.op_index, platform.clamp_level(s.level))
+                   for s in self.steps],
+            graph_fingerprint=self.graph_fingerprint,
+        )
+
+    def safe_level(self) -> int:
+        """Static level used when the plan itself must be abandoned:
+        the plan's median level (low side) — conservative, always on
+        the plan's own ladder."""
+        return statistics.median_low(sorted(self._levels))
+
+
+@dataclass
+class RuntimeHealth:
+    """Counters for every resilience decision the preset runtime takes.
+
+    All-zero means the run executed its plans exactly as computed.
+    """
+
+    #: Failed switch commands re-issued at the same decision point.
+    switch_retries: int = 0
+    #: Decision points where the retry budget ran out.
+    switch_failures: int = 0
+    #: Blocks pinned at the nearest achieved level after failures.
+    blocks_pinned: int = 0
+    #: Plans rejected at install/job start (bad indices, fingerprint).
+    plans_rejected: int = 0
+    #: Jobs that abandoned their plan for the safe static level.
+    plan_fallbacks: int = 0
+    #: Plan levels clamped to the platform ladder at install time.
+    levels_clamped: int = 0
+    #: Commands truncated by an external cap and honored as-is (the
+    #: runtime holds what the environment allows and re-asserts later).
+    caps_honored: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback behaviour was exercised."""
+        return (self.switch_failures > 0 or self.blocks_pinned > 0
+                or self.plans_rejected > 0 or self.plan_fallbacks > 0)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "switch_retries": self.switch_retries,
+            "switch_failures": self.switch_failures,
+            "blocks_pinned": self.blocks_pinned,
+            "plans_rejected": self.plans_rejected,
+            "plan_fallbacks": self.plan_fallbacks,
+            "levels_clamped": self.levels_clamped,
+            "caps_honored": self.caps_honored,
+        }
+
 
 class PresetGovernor(Governor):
     """Applies :class:`FrequencyPlan` objects at instrumentation points.
@@ -77,44 +170,143 @@ class PresetGovernor(Governor):
     Plans are keyed by graph name; jobs whose graph has no plan run at
     ``fallback_level`` (maximum by default).  The CPU keeps the stock
     ondemand policy — the paper's PowerLens configures *only* the GPU.
+
+    Parameters
+    ----------
+    resilient:
+        Verify every switch outcome and walk the degradation ladder
+        (module docstring).  ``False`` gives the naive fire-and-forget
+        runtime: like any real no-verify runtime it tracks the level it
+        *believes* is in force (to skip redundant actuator writes) and
+        never checks reality — a silently dropped or capped command
+        poisons that belief for the rest of the job.  Fault-free, both
+        modes issue identical commands and produce identical traces.
+    max_retries:
+        Re-issues per failed decision point before pinning the block.
+    max_block_failures:
+        Pinned blocks per job before abandoning the plan entirely.
+    safe_level:
+        Static level for abandoned-plan jobs; default is the plan's
+        median level.
     """
 
     name = "powerlens"
 
     def __init__(self, plans: Sequence[FrequencyPlan],
                  fallback_level: Optional[int] = None,
-                 name: str = "powerlens") -> None:
+                 name: str = "powerlens",
+                 resilient: bool = True,
+                 max_retries: int = 2,
+                 max_block_failures: int = 3,
+                 safe_level: Optional[int] = None) -> None:
         super().__init__()
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if max_block_failures < 1:
+            raise ValueError("max_block_failures must be >= 1")
         self.name = name
+        self.resilient = resilient
+        self.max_retries = max_retries
+        self.max_block_failures = max_block_failures
+        self._safe_override = safe_level
         self._plans: Dict[str, FrequencyPlan] = {
             p.graph_name: p for p in plans
         }
         self._fallback = fallback_level
+        self.health = RuntimeHealth()
+        self._installed: Dict[str, FrequencyPlan] = {}
         self._active: Optional[FrequencyPlan] = None
         self._pending: Dict[int, int] = {}
+        self._pinned: Dict[int, int] = {}
+        self._rejected_names: set = set()
+        self._retries_left = 0
+        self._block_failures = 0
+        self._fallen_back = False
+        self._expect_level: Optional[int] = None
+        self._current_op: Optional[int] = None
+        self._believed: Optional[int] = None
 
     def plan_for(self, graph_name: str) -> Optional[FrequencyPlan]:
         return self._plans.get(graph_name)
 
     def add_plan(self, plan: FrequencyPlan) -> None:
         self._plans[plan.graph_name] = plan
+        if self.platform is not None:
+            self._install(plan)
+
+    # ------------------------------------------------------------------
+    # installation / validation
+    # ------------------------------------------------------------------
+    def _install(self, plan: FrequencyPlan) -> None:
+        """Clamp a plan onto the bound platform's ladder."""
+        assert self.platform is not None
+        clamped = plan.clamped(self.platform)
+        if clamped is not plan:
+            self.health.levels_clamped += sum(
+                1 for a, b in zip(plan.steps, clamped.steps)
+                if a.level != b.level
+            )
+        self._installed[plan.graph_name] = clamped
 
     def reset(self, platform: PlatformSpec) -> None:
         super().reset(platform)
+        self.health = RuntimeHealth()
+        self._installed = {}
+        for plan in self._plans.values():
+            self._install(plan)
         self._active = None
         self._pending = {}
+        self._pinned = {}
+        self._rejected_names = set()
+        self._retries_left = 0
+        self._block_failures = 0
+        self._fallen_back = False
+        self._expect_level = None
+        self._current_op = None
+        self._believed = None
 
     def initial_gpu_level(self) -> int:
         assert self.platform is not None
         if self._fallback is not None:
-            return self.platform.clamp_level(self._fallback)
-        return self.platform.max_level
+            level = self.platform.clamp_level(self._fallback)
+        else:
+            level = self.platform.max_level
+        self._believed = level
+        return level
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+    def _validated_plan(self, job) -> Optional[FrequencyPlan]:
+        """Installed plan for the job's graph, or ``None`` when absent
+        or rejected by the structural checks."""
+        name = job.graph.name
+        plan = self._installed.get(name)
+        if plan is None:
+            return None
+        n_ops = len(job.graph.compute_nodes())
+        if plan.max_op_index >= n_ops:
+            if name not in self._rejected_names:
+                self._rejected_names.add(name)
+                self.health.plans_rejected += 1
+            return None
+        if plan.graph_fingerprint is not None and \
+                plan.graph_fingerprint != job.graph.fingerprint():
+            if name not in self._rejected_names:
+                self._rejected_names.add(name)
+                self.health.plans_rejected += 1
+            return None
+        return plan
 
     def on_job_start(self, job_idx: int, job) -> Optional[int]:
-        self._active = self._plans.get(job.graph.name)
+        self._pinned = {}
+        self._block_failures = 0
+        self._fallen_back = False
+        self._current_op = None
+        self._active = self._validated_plan(job)
         if self._active is None:
             self._pending = {}
-            return self.initial_gpu_level()
+            return self._request(self.initial_gpu_level())
         self._pending = {
             s.op_index: s.level for s in self._active.steps
         }
@@ -122,6 +314,96 @@ class PresetGovernor(Governor):
 
     def on_op_start(self, job_idx: int, op_idx: int,
                     work: OpWork) -> Optional[int]:
+        self._current_op = op_idx
+        if not self.resilient:
+            target = self._pending.get(op_idx)
+            if target is None or target == self._believed:
+                # Fire-and-forget: trust the belief, skip the redundant
+                # write.  If an earlier command silently failed, this is
+                # exactly where the naive runtime stays wrong.
+                return None
+            self._believed = target
+            return target
+        if self._fallen_back:
+            return None
+        if op_idx in self._pinned:
+            # Block previously lost its retry budget: hold the level it
+            # actually achieved, don't fight the actuator again.
+            return self._request(self._pinned[op_idx], retries=0)
         if op_idx in self._pending:
-            return self._pending[op_idx]
+            return self._request(self._pending[op_idx])
         return None
+
+    def _request(self, level: int, retries: Optional[int] = None) -> int:
+        """Arm the verify-after-switch machinery for one decision."""
+        self._expect_level = level
+        self._retries_left = (self.max_retries if retries is None
+                              else retries)
+        return level
+
+    # ------------------------------------------------------------------
+    # verify-after-switch (called by the simulator after every
+    # actuation it performs on our behalf)
+    # ------------------------------------------------------------------
+    def on_switch_result(self,
+                         result: SwitchResult) -> Optional[int]:
+        if not self.resilient:
+            return None
+        expected = self._expect_level
+        if expected is None:
+            # A switch we did not ask for (thermal / cap enforcement):
+            # nothing to verify.
+            return None
+        assert self.platform is not None
+        expected = self.platform.clamp_level(expected)
+        if result.achieved_level == expected:
+            self._expect_level = None
+            return None
+        if result.outcome == OUTCOME_CAPPED:
+            # An external agent (thermal governor, power budget) clamped
+            # the command.  That is not an actuator failure: retrying is
+            # futile while the cap holds, and pinning would outlive it.
+            # Hold what the environment allows and keep the plan armed —
+            # the next decision point re-asserts the target (a free noop
+            # while capped) and recovers the moment the cap lifts.
+            self.health.caps_honored += 1
+            self._expect_level = None
+            return None
+        if self._retries_left > 0:
+            self._retries_left -= 1
+            self.health.switch_retries += 1
+            return expected
+        # Retry budget exhausted at this decision point.
+        self._expect_level = None
+        self.health.switch_failures += 1
+        return self._give_up(result.achieved_level)
+
+    def _give_up(self, achieved: int) -> Optional[int]:
+        """Degradation ladder after a failed decision point."""
+        if self._active is None or self._fallen_back:
+            return None
+        # Pin the block that wanted the unreachable level at what we
+        # actually got, so later batches don't fight the actuator.
+        if self._current_op is not None and \
+                self._current_op not in self._pinned:
+            self._pinned[self._current_op] = achieved
+        self.health.blocks_pinned += 1
+        self._block_failures += 1
+        if self._block_failures >= self.max_block_failures:
+            # Plan-level failure: abandon the plan, finish the job at a
+            # safe static level (one final bounded attempt).
+            self._fallen_back = True
+            self._pending = {}
+            self._pinned = {}
+            self.health.plan_fallbacks += 1
+            safe = (self._safe_override
+                    if self._safe_override is not None
+                    else self._active.safe_level())
+            return self._request(safe, retries=0)
+        return None
+
+    # ------------------------------------------------------------------
+    def pin_block(self, op_idx: int, level: int) -> None:
+        """Record that ``op_idx``'s block runs at ``level`` from now on
+        (exposed for tests)."""
+        self._pinned[op_idx] = level

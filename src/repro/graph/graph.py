@@ -9,6 +9,7 @@ insertion-order tie-breaking).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -201,6 +202,25 @@ class Graph:
             for n in self._nodes.values()
             if n.op is OpType.ADD and len(n.inputs) > 1
         )
+
+    def fingerprint(self) -> str:
+        """Stable structural digest of the compute-node sequence.
+
+        Two graphs share a fingerprint exactly when their canonical
+        operator sequences match in op type, attributes, wiring and
+        output shapes.  Frequency plans record the fingerprint of the
+        graph they were computed for, so a stale plan applied to a
+        renamed-but-different graph is detected at job start.
+        """
+        h = hashlib.sha256()
+        for node in self.compute_nodes():
+            h.update(node.name.encode())
+            h.update(node.op.value.encode())
+            h.update(repr(node.attrs).encode())
+            h.update(repr(node.inputs).encode())
+            h.update(repr(node.output_shape).encode())
+            h.update(b"\x00")
+        return h.hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # misc

@@ -28,7 +28,14 @@ from repro.hw.platform import (
 )
 from repro.hw.power import PowerModel, PowerBreakdown
 from repro.hw.perf import LatencyModel, OpTiming
-from repro.hw.dvfs import DVFSController, DVFSSwitch
+from repro.hw.dvfs import DVFSController, DVFSSwitch, SwitchResult
+from repro.hw.faults import (
+    CapWindow,
+    FaultInjector,
+    FaultProfile,
+    FaultStats,
+    TransientWorkerError,
+)
 from repro.hw.telemetry import (
     Trace,
     TraceSegment,
@@ -52,6 +59,12 @@ __all__ = [
     "OpTiming",
     "DVFSController",
     "DVFSSwitch",
+    "SwitchResult",
+    "CapWindow",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultStats",
+    "TransientWorkerError",
     "Trace",
     "TraceSegment",
     "TelemetrySample",

@@ -11,6 +11,18 @@ while PowerLens-style governors retarget at operator boundaries
 DVFS actuation cost model (see :mod:`repro.hw.dvfs`): the GPU stalls for
 ``dvfs_stall_s`` and the host CPU stays busy for ``dvfs_latency_s`` after
 each switch; during that window CPU power is charged at its busy level.
+
+Fault injection (see :mod:`repro.hw.faults`): construct the simulator
+with a ``faults`` profile and every actuation flows through
+:meth:`~repro.hw.dvfs.DVFSController.actuate` under a per-run
+:class:`~repro.hw.faults.FaultInjector` — switches can drop, land short
+or stall longer; external cap windows clamp the achievable level; and
+telemetry windows can be dropped, stuck or noisy before a governor sees
+them.  Governors that implement ``on_switch_result`` (the resilient
+preset runtime) are told each command's achieved level and may answer
+with a bounded number of immediate retry targets.  With no profile (or
+an all-zero one) the fault layer is bypassed entirely, keeping traces,
+telemetry and energy byte-identical to the pre-fault simulator.
 """
 
 from __future__ import annotations
@@ -20,7 +32,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.graph import Graph
-from repro.hw.dvfs import DVFSController
+from repro.hw.dvfs import DVFSController, SwitchResult
+from repro.hw.faults import (
+    OUTCOME_DROPPED,
+    FaultInjector,
+    FaultProfile,
+    FaultStats,
+)
 from repro.hw.perf import LatencyModel, OpWork
 from repro.hw.platform import PlatformSpec
 from repro.hw.power import PowerModel
@@ -36,6 +54,11 @@ from repro.hw.telemetry import (
     TraceSegment,
     report_from_trace,
 )
+
+#: Hard bound on actuation attempts per decision point — a backstop so a
+#: governor retry loop can never hang the simulator even at 100 % fault
+#: rates (governors bound their own retries well below this).
+MAX_ACTUATIONS_PER_POINT = 8
 
 
 @dataclass(frozen=True)
@@ -69,6 +92,8 @@ class SimulationResult:
     per_job: List[EnergyReport] = field(default_factory=list)
     peak_temperature: float = 0.0
     throttle_time: float = 0.0
+    #: Fault-injection accounting for the run (None without a profile).
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def energy_efficiency(self) -> float:
@@ -119,12 +144,18 @@ class InferenceSimulator:
         efficiency test is run 50 times on randomized inputs").
     keep_trace / keep_samples:
         Retain full segment/sample lists (disable for long task flows).
+    faults:
+        Optional :class:`~repro.hw.faults.FaultProfile`; a fresh
+        injector is built per :meth:`run`, so repeated runs see the same
+        deterministic fault sequence.  ``None`` (or a zero profile)
+        bypasses the fault layer completely.
     """
 
     def __init__(self, platform: PlatformSpec, sample_period: float = 0.02,
                  noise_std: float = 0.0, seed: int = 0,
                  keep_trace: bool = True, keep_samples: bool = True,
-                 thermal: Optional[ThermalConfig] = None) -> None:
+                 thermal: Optional[ThermalConfig] = None,
+                 faults: Optional[FaultProfile] = None) -> None:
         if sample_period <= 0:
             raise ValueError("sample_period must be positive")
         self.platform = platform
@@ -133,6 +164,7 @@ class InferenceSimulator:
         self.keep_trace = keep_trace
         self.keep_samples = keep_samples
         self.thermal_config = thermal
+        self.faults = faults
         self.latency = LatencyModel(platform)
         self.power = PowerModel(platform)
         self._rng = random.Random(seed)
@@ -157,6 +189,7 @@ class InferenceSimulator:
             next_sample=self.sample_period,
             thermal=(ThermalState.initial(self.thermal_config)
                      if self.thermal_config else None),
+            injector=FaultInjector.maybe(self.faults),
         )
         samples: List[TelemetrySample] = []
         per_job: List[EnergyReport] = []
@@ -192,6 +225,8 @@ class InferenceSimulator:
                               if state.thermal else 0.0),
             throttle_time=(state.thermal.throttle_time
                            if state.thermal else 0.0),
+            fault_stats=(state.injector.stats
+                         if state.injector is not None else None),
         )
 
     # ------------------------------------------------------------------
@@ -300,10 +335,18 @@ class InferenceSimulator:
             cpu_busy=min(1.0, w.busy_cpu / period),
             cpu_level=state.cpu_level,
         )
-        if self.keep_samples:
-            samples.append(sample)
-        self._update_cpu_policy(state, sample)
-        level = governor.on_sample(sample)
+        delivered: Optional[TelemetrySample] = sample
+        if state.injector is not None:
+            delivered = state.injector.deliver_sample(sample)
+        if delivered is not None:
+            if self.keep_samples:
+                samples.append(delivered)
+            self._update_cpu_policy(state, delivered)
+            level = governor.on_sample(delivered)
+        else:
+            # Dropped window: the governor never hears about it and
+            # holds its last action; the host policy holds too.
+            level = None
         state.window = _SampleWindow(state.t)
         state.next_sample = state.t + self.sample_period
         if state.thermal is not None and state.thermal.update_throttle():
@@ -314,16 +357,55 @@ class InferenceSimulator:
             if target != state.dvfs.level or state.dvfs.level > cap:
                 return self._apply_switch(state, min(target, cap))
             return False
+        if state.injector is not None and level is None:
+            # External cap enforcement: when a cap window is active and
+            # the GPU sits above it, the outside agent forces the clock
+            # down even though the governor stayed silent.  Requesting
+            # the *current* level routes the clamp through ``actuate``
+            # so it is counted (and observed) as a capped command.
+            cap = state.injector.active_cap(state.t)
+            if cap is not None and \
+                    state.dvfs.level > self.platform.clamp_level(cap):
+                level = state.dvfs.level
         if level is not None:
             return self._apply_switch(state, level)
         return False
 
     def _apply_switch(self, state: "_RunState", level: int) -> bool:
-        """Actuate a GPU level change, charging stall + CPU command cost."""
-        switch = state.dvfs.request(state.t, level)
+        """Actuate a GPU level change; let a verifying governor retry.
+
+        The governor's ``on_switch_result`` (when defined) sees every
+        outcome — including clean ones — and may answer a failed command
+        with a new target, bounded by :data:`MAX_ACTUATIONS_PER_POINT`.
+        """
+        changed = self._actuate_once(state, level)
+        notify = getattr(self._governor, "on_switch_result", None)
+        if notify is None:
+            return changed
+        attempts = 0
+        while attempts < MAX_ACTUATIONS_PER_POINT:
+            retry = notify(state.last_switch_result)
+            if retry is None:
+                break
+            attempts += 1
+            changed = self._actuate_once(state, retry) or changed
+        return changed
+
+    def _actuate_once(self, state: "_RunState", level: int) -> bool:
+        """One actuation attempt, charging stall + CPU command cost."""
+        result = state.dvfs.actuate(state.t, level,
+                                    injector=state.injector)
+        state.last_switch_result = result
+        switch = result.switch
         if switch is None:
+            if result.outcome == OUTCOME_DROPPED:
+                # The lost command still occupied the host.
+                state.cpu_busy_until = max(
+                    state.cpu_busy_until,
+                    state.t + self.platform.dvfs_cpu_busy_s,
+                )
             return False
-        stall = self.platform.dvfs_stall_s
+        stall = self.platform.dvfs_stall_s + result.extra_stall_s
         if stall > 0:
             gpu_p = self.power.gpu_idle(state.dvfs.freq)
             cpu_p = self.power.cpu_busy(self._cpu_freq(state))
@@ -392,3 +474,5 @@ class _RunState:
     t: float = 0.0
     cpu_busy_until: float = 0.0
     thermal: Optional[ThermalState] = None
+    injector: Optional[FaultInjector] = None
+    last_switch_result: Optional["SwitchResult"] = None

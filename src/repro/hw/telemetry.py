@@ -68,6 +68,10 @@ class TelemetrySample:
     total_power: float
     cpu_busy: float = 0.0
     cpu_level: int = 0
+    #: True when a fault injector perturbed this window (stuck sensor or
+    #: multiplicative noise).  Dropped windows are never delivered at
+    #: all, so governors see gaps, not flagged samples.
+    faulty: bool = False
 
 
 @dataclass
@@ -204,6 +208,7 @@ def format_tegrastats(samples: Iterable[TelemetrySample],
             f"VDD_GPU {int(s.gpu_power * 1000):6d}mW "
             f"VDD_CPU {int(s.cpu_power * 1000):6d}mW "
             f"TOTAL {int(s.total_power * 1000):6d}mW"
+            + (" [faulty]" if s.faulty else "")
         )
     _ = freq_mhz
     return "\n".join(lines)

@@ -3,15 +3,50 @@
 ``tiny_platform`` is a cut-down ladder for fast governor/simulator tests;
 ``fitted_lens`` is a session-scoped PowerLens trained on a small corpus so
 pipeline/ablation/experiment tests don't each pay for dataset generation.
+
+Every test also runs under a soft wall-clock timeout (default 180 s,
+``POWERLENS_TEST_TIMEOUT`` to change, ``0`` to disable) so a hung retry
+loop fails that one test fast instead of wedging the whole suite.  When
+the real ``pytest-timeout`` plugin is installed it takes precedence; the
+fallback here uses ``SIGALRM`` and is a no-op on platforms without it.
 """
 
 from __future__ import annotations
+
+import os
+import signal
 
 import pytest
 
 from repro.core import PowerLens, PowerLensConfig
 from repro.graph import Graph, GraphBuilder
 from repro.hw import PlatformSpec, CpuSpec, jetson_tx2
+
+TEST_TIMEOUT_S = float(os.environ.get("POWERLENS_TEST_TIMEOUT", "180"))
+
+
+@pytest.fixture(autouse=True)
+def _soft_timeout(request):
+    """Per-test wall-clock limit via SIGALRM (see module docstring)."""
+    marker = request.node.get_closest_marker("timeout")
+    limit = float(marker.args[0]) if marker and marker.args \
+        else TEST_TIMEOUT_S
+    if (limit <= 0 or not hasattr(signal, "SIGALRM")
+            or request.config.pluginmanager.hasplugin("timeout")):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {limit:.0f}s soft timeout "
+                    f"(POWERLENS_TEST_TIMEOUT)", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,135 @@
+"""DatasetCache corruption matrix: every way an on-disk entry can rot —
+truncated payload, bit-flipped payload, missing manifest, stale cache
+format version, recorded-key mismatch — must read as a clean miss, be
+evicted, and leave the slot ready to regenerate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import DatasetA, DatasetB, GenerationStats
+from repro.core.persistence import DATASET_CACHE_VERSION, DatasetCache
+
+pytestmark = pytest.mark.faults
+
+KEY = "entry-under-test"
+
+
+def _dataset_a(rows=6):
+    rng = np.random.default_rng(1)
+    return DatasetA(
+        x_struct=rng.normal(size=(rows, 3)),
+        x_stats=rng.normal(size=(rows, 4)),
+        y=rng.integers(0, 5, size=rows),
+        n_schemes=5,
+    )
+
+
+def _dataset_b(rows=9):
+    rng = np.random.default_rng(2)
+    return DatasetB(x=rng.normal(size=(rows, 5)),
+                    y=rng.integers(0, 13, size=rows), n_levels=13)
+
+
+def _stats():
+    return GenerationStats(n_networks=6, n_blocks=9, wall_time_s=1.5,
+                           blocks_per_network=[1, 2, 1, 2, 1, 2],
+                           n_retries=3, quarantined=[4])
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    cache = DatasetCache(tmp_path / "cache")
+    cache.store(KEY, _dataset_a(), _dataset_b(), _stats())
+    return cache
+
+
+def _entry_files(cache):
+    return sorted(p.name for p in cache.directory.iterdir()
+                  if p.name.startswith(KEY))
+
+
+def _assert_miss_evicts_and_regenerates(cache):
+    assert cache.load(KEY) is None
+    assert _entry_files(cache) == []
+    assert not cache.has(KEY)
+    # The slot is immediately reusable.
+    cache.store(KEY, _dataset_a(), _dataset_b(), _stats())
+    reloaded = cache.load(KEY)
+    assert reloaded is not None
+
+
+class TestIntactEntry:
+    def test_round_trip_with_stats(self, cache):
+        loaded = cache.load(KEY)
+        assert loaded is not None
+        dataset_a, dataset_b, stats = loaded
+        original_a, original_b = _dataset_a(), _dataset_b()
+        assert dataset_a.x_struct.tobytes() == original_a.x_struct.tobytes()
+        assert dataset_b.x.tobytes() == original_b.x.tobytes()
+        assert stats.cache_hit
+        assert stats.n_retries == 3
+        assert stats.quarantined == [4]
+        assert stats.n_quarantined == 1
+
+
+class TestCorruptionMatrix:
+    def test_truncated_payload(self, cache):
+        path = cache.directory / f"{KEY}.a.npz"
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_empty_payload(self, cache):
+        (cache.directory / f"{KEY}.b.npz").write_bytes(b"")
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_bit_flipped_payload(self, cache):
+        path = cache.directory / f"{KEY}.b.npz"
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_missing_manifest(self, cache):
+        (cache.directory / f"{KEY}.json").unlink()
+        assert not cache.has(KEY)
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_missing_payload_file(self, cache):
+        (cache.directory / f"{KEY}.a.npz").unlink()
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_manifest_garbage(self, cache):
+        (cache.directory / f"{KEY}.json").write_text("{not json")
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_stale_cache_version(self, cache):
+        manifest = cache.directory / f"{KEY}.json"
+        meta = json.loads(manifest.read_text())
+        meta["version"] = DATASET_CACHE_VERSION - 1
+        manifest.write_text(json.dumps(meta))
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_key_mismatch(self, cache):
+        manifest = cache.directory / f"{KEY}.json"
+        meta = json.loads(manifest.read_text())
+        meta["key"] = "someone-else"
+        manifest.write_text(json.dumps(meta))
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_tampered_checksum(self, cache):
+        manifest = cache.directory / f"{KEY}.json"
+        meta = json.loads(manifest.read_text())
+        meta["checksums"]["a"] = "0" * 64
+        manifest.write_text(json.dumps(meta))
+        _assert_miss_evicts_and_regenerates(cache)
+
+    def test_corruption_is_per_entry(self, cache):
+        """Damaging one entry must not disturb its neighbours."""
+        cache.store("healthy", _dataset_a(3), _dataset_b(4),
+                    GenerationStats(n_networks=3))
+        (cache.directory / f"{KEY}.a.npz").write_bytes(b"rot")
+        assert cache.load(KEY) is None
+        assert cache.load("healthy") is not None
