@@ -1,29 +1,70 @@
-"""Benchmark: dataset-generation scaling (serial vs process pool).
+"""Benchmark: dataset-generation scaling and the labeling fast path.
 
 The offline scheme-sweep labeling is the cost the paper's "automated
 generation of datasets" pays per platform (8 000 networks / 31 242
-blocks); ``DatasetGenerator.generate(n_jobs=N)`` fans it out over N
-worker processes with byte-identical output.  This bench records
-networks/s and blocks/s at 1 worker and at N workers on the same
-corpus and asserts the speedup when the host actually has the cores.
+blocks).  Two levers attack it:
+
+* ``DatasetGenerator.generate(n_jobs=N)`` fans networks out over N
+  worker processes with byte-identical output (PR 1);
+* the vectorized labeling fast path (ProfileTable + memoized scheme
+  sweep) shrinks the per-network unit of work itself, measured here
+  against the retained ``label_network_reference`` loops.
+
+Both benches append their measurements to ``BENCH_datagen.json`` at the
+repo root (machine-readable perf trajectory: per-stage wall-time
+breakdown, nets/sec at n_jobs in {1, max}, fast-path speedup), so future
+PRs can regress against recorded numbers.
 
 Scale knobs:
 
 * ``POWERLENS_BENCH_DATAGEN_NETWORKS`` — corpus size (default 100).
 * ``POWERLENS_BENCH_DATAGEN_JOBS``     — pool width (default 4).
+* ``POWERLENS_BENCH_LABEL_NETWORKS``   — fast-path comparison corpus
+  (default 24; the reference path re-walks every op per scheme, so keep
+  it modest).
 """
 
+import json
 import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core.datasets import DatasetGenerator
+from repro.core.features import DepthwiseFeatureExtractor
+from repro.core.labeling import label_network, label_network_reference
+from repro.core.schemes import default_scheme_grid
 from repro.hw import jetson_tx2
+from repro.hw.analytic import AnalyticEvaluator
+from repro.models.random_gen import RandomDNNGenerator
+
+pytestmark = pytest.mark.perf
 
 DATAGEN_NETWORKS = int(
     os.environ.get("POWERLENS_BENCH_DATAGEN_NETWORKS", "100"))
 DATAGEN_JOBS = int(os.environ.get("POWERLENS_BENCH_DATAGEN_JOBS", "4"))
+LABEL_NETWORKS = int(
+    os.environ.get("POWERLENS_BENCH_LABEL_NETWORKS", "24"))
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_datagen.json"
+
+
+def _record(section: str, payload: dict) -> None:
+    """Read-modify-write one section of ``BENCH_datagen.json``."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (OSError, ValueError):
+            data = {}
+    payload = dict(payload)
+    payload["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    payload["host_cpus"] = os.cpu_count()
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True)
+                          + "\n")
 
 
 @pytest.mark.benchmark(group="datagen")
@@ -52,6 +93,28 @@ def test_datagen_scaling(benchmark):
     print(f"  speedup: {speedup:.2f}x  "
           f"(host CPUs: {os.cpu_count()})")
 
+    _record("datagen_scaling", {
+        "n_networks": DATAGEN_NETWORKS,
+        "n_blocks": s1.n_blocks,
+        "serial": {
+            "n_jobs": 1,
+            "wall_time_s": round(s1.wall_time_s, 3),
+            "networks_per_s": round(s1.networks_per_s, 3),
+            "blocks_per_s": round(s1.blocks_per_s, 3),
+            "stage_seconds": {k: round(v, 3)
+                              for k, v in s1.stage_seconds.items()},
+        },
+        "pooled": {
+            "n_jobs": s2.n_jobs,
+            "wall_time_s": round(s2.wall_time_s, 3),
+            "networks_per_s": round(s2.networks_per_s, 3),
+            "blocks_per_s": round(s2.blocks_per_s, 3),
+            "stage_seconds": {k: round(v, 3)
+                              for k, v in s2.stage_seconds.items()},
+        },
+        "pool_speedup": round(speedup, 3),
+    })
+
     # The parallel path must be provably equivalent at benchmark scale.
     assert a1.x_struct.tobytes() == a2.x_struct.tobytes()
     assert a1.x_stats.tobytes() == a2.x_stats.tobytes()
@@ -69,3 +132,68 @@ def test_datagen_scaling(benchmark):
     else:
         print(f"  (speedup assertion skipped: "
               f"{os.cpu_count()} CPU(s) < {DATAGEN_JOBS} workers)")
+
+
+@pytest.mark.benchmark(group="datagen")
+def test_labeling_fastpath_speedup(benchmark):
+    """Vectorized per-network labeling vs the retained pre-optimization
+    loops: byte-identical NetworkLabels and >= 5x at n_jobs=1."""
+    platform = jetson_tx2()
+    grid = default_scheme_grid()
+    extractor = DepthwiseFeatureExtractor()
+    networks = []
+    for seed in range(LABEL_NETWORKS):
+        graph = RandomDNNGenerator(seed=seed).generate()
+        networks.append((graph, extractor.extract_scaled(graph)))
+
+    ref_evaluator = AnalyticEvaluator(platform)
+    t0 = time.perf_counter()
+    reference = [label_network_reference(ref_evaluator, g, x, grid)
+                 for g, x in networks]
+    ref_s = time.perf_counter() - t0
+
+    fast_evaluator = AnalyticEvaluator(platform)
+
+    def run_fast():
+        return [label_network(fast_evaluator, g, x, grid)
+                for g, x in networks]
+
+    fast = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+    fast_s = benchmark.stats.stats.mean
+
+    # Byte-identity at benchmark scale (NetworkLabels compares by
+    # content; stage telemetry is excluded from equality).
+    assert fast == reference
+    for lab, ref in zip(fast, reference):
+        assert np.asarray(lab.qualities).tobytes() == \
+            np.asarray(ref.qualities).tobytes()
+
+    speedup = ref_s / fast_s
+    stage_totals: dict = {}
+    for lab in fast:
+        for name, seconds in (lab.stage_seconds or {}).items():
+            stage_totals[name] = stage_totals.get(name, 0.0) + seconds
+    print()
+    print(f"labeling fast path, {LABEL_NETWORKS} networks, "
+          f"{len(grid)} schemes:")
+    print(f"  reference: {ref_s:6.2f}s  "
+          f"{LABEL_NETWORKS / ref_s:6.2f} networks/s")
+    print(f"  fast:      {fast_s:6.2f}s  "
+          f"{LABEL_NETWORKS / fast_s:6.2f} networks/s")
+    print(f"  stages: " + ", ".join(
+        f"{k} {v:.2f}s" for k, v in sorted(stage_totals.items())))
+    print(f"  speedup: {speedup:.1f}x")
+
+    _record("labeling_fastpath", {
+        "n_networks": LABEL_NETWORKS,
+        "n_schemes": len(grid),
+        "reference_wall_time_s": round(ref_s, 3),
+        "fast_wall_time_s": round(fast_s, 3),
+        "reference_networks_per_s": round(LABEL_NETWORKS / ref_s, 3),
+        "fast_networks_per_s": round(LABEL_NETWORKS / fast_s, 3),
+        "stage_seconds": {k: round(v, 3)
+                          for k, v in stage_totals.items()},
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 5.0, (
+        f"labeling fast path regressed: {speedup:.1f}x < 5x")

@@ -151,6 +151,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"warning: {gen.n_quarantined} network(s) quarantined "
               f"during dataset generation after {gen.n_retries} "
               f"retries: {gen.quarantined}", file=sys.stderr)
+    if summary is not None and summary.generation.stage_seconds:
+        gen = summary.generation
+        order = ("distance", "cluster", "evaluate")
+        named = [n for n in order if n in gen.stage_seconds]
+        named += sorted(set(gen.stage_seconds) - set(order))
+        parts = ", ".join(f"{n} {gen.stage_seconds[n]:.1f}s"
+                          for n in named)
+        print(f"labeling stages: {parts} "
+              f"(generation wall time {gen.wall_time_s:.1f}s)",
+              file=sys.stderr)
 
     if args.command == "table1":
         from repro.experiments import run_table1

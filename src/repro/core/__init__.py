@@ -47,6 +47,8 @@ from repro.core.clustering import (
     mahalanobis_matrix,
     spacing_matrix,
     power_distance_matrix,
+    smoothed_power_distance,
+    blocks_from_distance,
     dbscan_precomputed,
     process_clusters,
     cluster_power_blocks,
@@ -91,6 +93,8 @@ __all__ = [
     "mahalanobis_matrix",
     "spacing_matrix",
     "power_distance_matrix",
+    "smoothed_power_distance",
+    "blocks_from_distance",
     "dbscan_precomputed",
     "process_clusters",
     "cluster_power_blocks",

@@ -19,13 +19,37 @@ the stated intent ("ensure that only physically adjacent operators are
 considered").  We implement the stated intent, ``R = 1 - exp(-lambda *
 |i-j|)``, as the default and keep the literal formula available through
 ``spacing_mode='paper'`` for comparison.
+
+Performance note: this module sits on the dataset-generation hot path
+(every scheme of every random network runs through it), so the distance
+matrix, DBSCAN and the majority filter are vectorized.  Every fast path
+is **byte-identical** to its original loop implementation — the loops
+are retained as ``*_reference`` functions and the equivalence is
+enforced by the hypothesis suites in ``tests/test_labeling_fastpath.py``.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
+
+
+def _normalize_by_median(d: np.ndarray, n: int) -> np.ndarray:
+    """Shared tail of the Mahalanobis computation.
+
+    Normalize by the median off-diagonal distance: in a whitened
+    high-dimensional space pairwise distances concentrate, so a
+    max-normalization squeezes all structure into a narrow band.
+    Median scaling puts "typically similar" pairs well below 1 and
+    dissimilar pairs above it, giving the epsilon grid real leverage.
+    """
+    if n > 1:
+        off = d[~np.eye(n, dtype=bool)]
+        scale = float(np.median(off))
+        if scale > 0:
+            d = d / scale
+    return d
 
 
 def mahalanobis_matrix(x: np.ndarray) -> np.ndarray:
@@ -33,9 +57,44 @@ def mahalanobis_matrix(x: np.ndarray) -> np.ndarray:
 
     The covariance matrix is pseudo-inverted (features can be collinear:
     one-hot columns, constant columns), exactly as Algorithm 1 line 3
-    prescribes.  The result is normalized to [0, 1] by its maximum so it
-    blends on equal footing with the spacing term.
+    prescribes.
+
+    The quadratic form is evaluated over the upper-triangle pairs only
+    and mirrored: ``c_einsum`` computes every output element
+    independently with a fixed ``(k, l)`` summation order, and the IEEE
+    sign-flip identities make ``diff . P . diff`` bit-equal for
+    ``x_i - x_j`` and ``x_j - x_i``, so this halves the work of
+    :func:`mahalanobis_matrix_reference` while staying byte-identical.
     """
+    x = np.asarray(x, dtype=float)
+    n = x.shape[0]
+    if n == 0:
+        return np.zeros((0, 0))
+    if n == 1:
+        return np.zeros((1, 1))
+    cov = np.cov(x, rowvar=False)
+    p = np.linalg.pinv(np.atleast_2d(cov))
+    iu, ju = np.triu_indices(n, k=1)
+    pairs = x[iu] - x[ju]
+    # d^2[i,j] = diff . P . diff
+    d2_pairs = np.einsum("pk,kl,pl->p", pairs, p, pairs)
+    d2 = np.zeros((n, n))
+    d2[iu, ju] = d2_pairs
+    d2 = d2 + d2.T
+    # The reference evaluates i == j cells on an all-zero diff; its
+    # result can carry a sign-of-zero from P's entries, so reproduce it
+    # with the same quadratic form instead of assuming +0.0.
+    zero_row = np.zeros((1, x.shape[1]))
+    np.fill_diagonal(
+        d2, np.einsum("pk,kl,pl->p", zero_row, p, zero_row)[0])
+    d2 = np.maximum(d2, 0.0)
+    d = np.sqrt(d2)
+    return _normalize_by_median(d, n)
+
+
+def mahalanobis_matrix_reference(x: np.ndarray) -> np.ndarray:
+    """Reference loop/full-einsum implementation of
+    :func:`mahalanobis_matrix` (retained for the equivalence suite)."""
     x = np.asarray(x, dtype=float)
     n = x.shape[0]
     if n == 0:
@@ -49,17 +108,7 @@ def mahalanobis_matrix(x: np.ndarray) -> np.ndarray:
     d2 = np.einsum("ijk,kl,ijl->ij", diff, p, diff)
     d2 = np.maximum(d2, 0.0)
     d = np.sqrt(d2)
-    # Normalize by the median off-diagonal distance: in a whitened
-    # high-dimensional space pairwise distances concentrate, so a
-    # max-normalization squeezes all structure into a narrow band.
-    # Median scaling puts "typically similar" pairs well below 1 and
-    # dissimilar pairs above it, giving the epsilon grid real leverage.
-    if n > 1:
-        off = d[~np.eye(n, dtype=bool)]
-        scale = float(np.median(off))
-        if scale > 0:
-            d = d / scale
-    return d
+    return _normalize_by_median(d, n)
 
 
 def spacing_matrix(n: int, lam: float,
@@ -82,19 +131,25 @@ def spacing_matrix(n: int, lam: float,
     raise ValueError(f"unknown spacing mode {mode!r}")
 
 
+def _blend_distances(d: np.ndarray, n: int, alpha: float, lam: float,
+                     spacing_mode: str) -> np.ndarray:
+    """Blend a Mahalanobis matrix with the spacing regularizer
+    (Algorithm 1 line 12)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    r = spacing_matrix(n, lam, spacing_mode)
+    out = alpha * d + (1.0 - alpha) * r
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
 def power_distance_matrix(x: np.ndarray, alpha: float = 0.6,
                           lam: float = 0.05,
                           spacing_mode: str = "penalty") -> np.ndarray:
     """Blended power distance: ``alpha * D_mahalanobis + (1 - alpha) * R``
     (Algorithm 1 line 12)."""
-    if not 0.0 <= alpha <= 1.0:
-        raise ValueError("alpha must be in [0, 1]")
-    n = x.shape[0]
-    d = mahalanobis_matrix(x)
-    r = spacing_matrix(n, lam, spacing_mode)
-    out = alpha * d + (1.0 - alpha) * r
-    np.fill_diagonal(out, 0.0)
-    return out
+    return _blend_distances(mahalanobis_matrix(x), x.shape[0], alpha,
+                            lam, spacing_mode)
 
 
 # ----------------------------------------------------------------------
@@ -105,21 +160,63 @@ NOISE = -1
 _UNVISITED = -2
 
 
-def dbscan_precomputed(distance: np.ndarray, eps: float,
-                       min_pts: int) -> np.ndarray:
-    """Classic DBSCAN on a precomputed distance matrix.
-
-    Returns integer labels per point; ``-1`` marks noise.  Implemented
-    from scratch (queue-based cluster expansion) since the environment
-    carries no clustering library.
-    """
-    distance = np.asarray(distance)
+def _check_dbscan_args(distance: np.ndarray, eps: float,
+                       min_pts: int) -> None:
     if distance.ndim != 2 or distance.shape[0] != distance.shape[1]:
         raise ValueError("distance must be a square matrix")
     if eps < 0:
         raise ValueError("eps must be non-negative")
     if min_pts < 1:
         raise ValueError("min_pts must be >= 1")
+
+
+def dbscan_precomputed(distance: np.ndarray, eps: float,
+                       min_pts: int) -> np.ndarray:
+    """Classic DBSCAN on a precomputed distance matrix.
+
+    Returns integer labels per point; ``-1`` marks noise.  Implemented
+    from scratch since the environment carries no clustering library.
+
+    Cluster expansion runs on boolean frontier vectors over a
+    precomputed adjacency matrix rather than a per-point Python queue.
+    The final labels are identical to the queue-based
+    :func:`dbscan_precomputed_reference`: a cluster's membership is the
+    core-connected closure of its seed restricted to points unclaimed
+    when the seed is visited, which is order-free — only the seed scan
+    order (ascending ``i``, shared by both implementations) matters.
+    """
+    distance = np.asarray(distance)
+    _check_dbscan_args(distance, eps, min_pts)
+    n = distance.shape[0]
+    labels = np.full(n, _UNVISITED, dtype=int)
+    adjacent = distance <= eps
+    core = adjacent.sum(axis=1) >= min_pts
+    cluster = 0
+    for i in range(n):
+        if labels[i] != _UNVISITED:
+            continue
+        if not core[i]:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster
+        frontier = np.zeros(n, dtype=bool)
+        frontier[i] = True
+        while frontier.any():
+            reached = adjacent[frontier].any(axis=0)
+            claimed = reached & (labels == _UNVISITED)
+            labels[reached & (labels == NOISE)] = cluster  # border points
+            labels[claimed] = cluster
+            frontier = claimed & core
+        cluster += 1
+    return labels
+
+
+def dbscan_precomputed_reference(distance: np.ndarray, eps: float,
+                                 min_pts: int) -> np.ndarray:
+    """Reference queue-based implementation of
+    :func:`dbscan_precomputed` (retained for the equivalence suite)."""
+    distance = np.asarray(distance)
+    _check_dbscan_args(distance, eps, min_pts)
     n = distance.shape[0]
     labels = np.full(n, _UNVISITED, dtype=int)
     neighbors = [np.flatnonzero(distance[i] <= eps) for i in range(n)]
@@ -169,7 +266,43 @@ def _mode_filter(labels: np.ndarray, window: int) -> np.ndarray:
     region structure so the run extraction below sees stages, not the
     interleaving.  Noise labels never win the vote unless the window is
     all noise.
+
+    Window counts are prefix-sum differences of a one-hot label matrix
+    (exact integer arithmetic), and the min-label tie-break falls out of
+    ``argmax`` over label-sorted columns — identical to the per-point
+    vote dictionaries of :func:`_mode_filter_reference`.
     """
+    if window <= 0:
+        return labels
+    n = len(labels)
+    if n == 0:
+        return labels
+    positions = np.arange(n)
+    lo = np.maximum(0, positions - window)
+    hi = np.minimum(n, positions + window + 1)
+    current = labels
+    for _pass in range(3):  # iterate to (near) fixpoint
+        uniq, inverse = np.unique(current, return_inverse=True)
+        one_hot = np.zeros((n + 1, len(uniq)), dtype=np.int64)
+        one_hot[positions + 1, inverse] = 1
+        prefix = np.cumsum(one_hot, axis=0)
+        votes = prefix[hi] - prefix[lo]          # (n, n_labels), exact
+        noise_cols = np.flatnonzero(uniq == NOISE)
+        if noise_cols.size:
+            votes[:, noise_cols[0]] = 0
+        best = np.argmax(votes, axis=1)          # min-label tie-break
+        best_count = votes[positions, best]
+        out = np.where(best_count > 0, uniq[best], NOISE)
+        out = out.astype(current.dtype, copy=False)
+        if np.array_equal(out, current):
+            break
+        current = out
+    return current
+
+
+def _mode_filter_reference(labels: np.ndarray, window: int) -> np.ndarray:
+    """Reference loop implementation of :func:`_mode_filter` (retained
+    for the equivalence suite)."""
     if window <= 0:
         return labels
     n = len(labels)
@@ -195,29 +328,10 @@ def _mode_filter(labels: np.ndarray, window: int) -> np.ndarray:
     return current
 
 
-def process_clusters(labels: Sequence[int],
-                     min_block_size: int = 1,
-                     mode_window: int = -1) -> List[List[int]]:
-    """Post-process raw DBSCAN labels into power blocks.
-
-    Guarantees (the paper's "continuous and practically feasible"
-    requirement): the returned blocks are contiguous index ranges,
-    non-overlapping, ordered, and together cover ``range(n)`` exactly.
-
-    Rules: a majority filter recovers region identity from interleaved
-    per-kind clusters (``mode_window=-1`` derives the radius from
-    ``min_block_size``; 0 disables); non-contiguous clusters are split
-    into runs; isolated noise points join the shorter adjacent run; runs
-    smaller than ``min_block_size`` are merged into their smaller
-    neighbour.
-    """
-    labels = np.asarray(list(labels), dtype=int)
-    n = len(labels)
-    if n == 0:
-        return []
-    if mode_window < 0:
-        mode_window = max(2, min_block_size)
-    labels = _mode_filter(labels, mode_window)
+def _merge_runs(labels: np.ndarray,
+                min_block_size: int) -> List[List[int]]:
+    """Shared post-mode-filter block extraction (see
+    :func:`process_clusters` for the rules)."""
     runs = _runs_of(labels)
 
     # Absorb noise runs into an adjacent run (prefer the shorter side so
@@ -268,6 +382,40 @@ def process_clusters(labels: Sequence[int],
     return result
 
 
+def _process_clusters_with(
+        labels: Sequence[int], min_block_size: int, mode_window: int,
+        mode_filter: Callable[[np.ndarray, int], np.ndarray]
+) -> List[List[int]]:
+    labels = np.asarray(list(labels), dtype=int)
+    n = len(labels)
+    if n == 0:
+        return []
+    if mode_window < 0:
+        mode_window = max(2, min_block_size)
+    labels = mode_filter(labels, mode_window)
+    return _merge_runs(labels, min_block_size)
+
+
+def process_clusters(labels: Sequence[int],
+                     min_block_size: int = 1,
+                     mode_window: int = -1) -> List[List[int]]:
+    """Post-process raw DBSCAN labels into power blocks.
+
+    Guarantees (the paper's "continuous and practically feasible"
+    requirement): the returned blocks are contiguous index ranges,
+    non-overlapping, ordered, and together cover ``range(n)`` exactly.
+
+    Rules: a majority filter recovers region identity from interleaved
+    per-kind clusters (``mode_window=-1`` derives the radius from
+    ``min_block_size``; 0 disables); non-contiguous clusters are split
+    into runs; isolated noise points join the shorter adjacent run; runs
+    smaller than ``min_block_size`` are merged into their smaller
+    neighbour.
+    """
+    return _process_clusters_with(labels, min_block_size, mode_window,
+                                  _mode_filter)
+
+
 def smooth_features(x: np.ndarray, window: int) -> np.ndarray:
     """Centered moving average of the feature rows (+-``window`` ops).
 
@@ -291,6 +439,30 @@ def smooth_features(x: np.ndarray, window: int) -> np.ndarray:
     return out
 
 
+def smoothed_power_distance(x: np.ndarray, window: int,
+                            alpha: float = 0.6, lam: float = 0.05,
+                            spacing_mode: str = "penalty") -> np.ndarray:
+    """Blended power distance of the ``window``-smoothed features.
+
+    This is the scheme-*independent* half of Algorithm 1: the matrix
+    depends on ``(features, window, alpha, lam)`` but not on
+    ``(epsilon, minPts)``, so a scheme sweep only needs one matrix per
+    distinct smoothing window (the labeling fast path memoizes exactly
+    that).
+    """
+    xs = smooth_features(x, window)
+    return power_distance_matrix(xs, alpha=alpha, lam=lam,
+                                 spacing_mode=spacing_mode)
+
+
+def blocks_from_distance(distance: np.ndarray, eps: float,
+                         min_pts: int) -> List[List[int]]:
+    """Scheme-*dependent* half of Algorithm 1: DBSCAN over a prepared
+    blended matrix plus block post-processing."""
+    labels = dbscan_precomputed(distance, eps, min_pts)
+    return process_clusters(labels, min_block_size=max(1, min_pts))
+
+
 def cluster_power_blocks(x: np.ndarray, eps: float, min_pts: int,
                          alpha: float = 0.6, lam: float = 0.05,
                          spacing_mode: str = "penalty",
@@ -307,8 +479,27 @@ def cluster_power_blocks(x: np.ndarray, eps: float, min_pts: int,
         return [[0]]
     if smooth_window < 0:
         smooth_window = max(2, min_pts)
+    distance = smoothed_power_distance(x, smooth_window, alpha=alpha,
+                                       lam=lam, spacing_mode=spacing_mode)
+    return blocks_from_distance(distance, eps, min_pts)
+
+
+def cluster_power_blocks_reference(
+        x: np.ndarray, eps: float, min_pts: int, alpha: float = 0.6,
+        lam: float = 0.05, spacing_mode: str = "penalty",
+        smooth_window: int = -1) -> List[List[int]]:
+    """Pre-vectorization Algorithm 1 (full-einsum distance, queue
+    DBSCAN, loop majority filter), retained as the baseline for the
+    equivalence suites and the labeling benchmark."""
+    if x.shape[0] == 0:
+        return []
+    if x.shape[0] == 1:
+        return [[0]]
+    if smooth_window < 0:
+        smooth_window = max(2, min_pts)
     xs = smooth_features(x, smooth_window)
-    distance = power_distance_matrix(xs, alpha=alpha, lam=lam,
-                                     spacing_mode=spacing_mode)
-    labels = dbscan_precomputed(distance, eps, min_pts)
-    return process_clusters(labels, min_block_size=max(1, min_pts))
+    distance = _blend_distances(mahalanobis_matrix_reference(xs),
+                                xs.shape[0], alpha, lam, spacing_mode)
+    labels = dbscan_precomputed_reference(distance, eps, min_pts)
+    return _process_clusters_with(labels, max(1, min_pts), -1,
+                                  _mode_filter_reference)

@@ -27,7 +27,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -116,6 +116,11 @@ class GenerationStats:
     ``quarantined`` lists submission indices whose labeling kept failing
     after ``n_retries``-counted bounded retries and were dropped rather
     than aborting the run.
+
+    ``stage_seconds`` is the summed per-network labeling breakdown
+    (``distance`` / ``cluster`` / ``evaluate`` wall time across all
+    surviving networks and workers) — CPU time, so it can exceed
+    ``wall_time_s`` under a process pool.
     """
 
     n_networks: int = 0
@@ -126,6 +131,7 @@ class GenerationStats:
     cache_hit: bool = False
     n_retries: int = 0
     quarantined: List[int] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_quarantined(self) -> int:
@@ -208,6 +214,7 @@ class _NetworkResult:
     qualities: np.ndarray
     block_x: np.ndarray
     levels: np.ndarray
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 def _generate_one(gen: "DatasetGenerator", task: _NetworkTask
@@ -240,6 +247,7 @@ def _generate_one(gen: "DatasetGenerator", task: _NetworkTask
         qualities=np.asarray(labels.qualities, dtype=float),
         block_x=block_x,
         levels=np.asarray(labels.levels, dtype=int),
+        stage_seconds=dict(labels.stage_seconds or {}),
     )
 
 
@@ -363,6 +371,9 @@ class DatasetGenerator:
             xb.append(result.block_x)
             yb.append(result.levels)
             stats.blocks_per_network.append(len(result.levels))
+            for name, seconds in result.stage_seconds.items():
+                stats.stage_seconds[name] = (
+                    stats.stage_seconds.get(name, 0.0) + seconds)
 
         stats.n_networks = len(survivors)
         stats.n_blocks = int(sum(len(y) for y in yb))

@@ -308,6 +308,8 @@ class DatasetCache:
             cache_hit=True,
             n_retries=int(stats_meta.get("n_retries", 0)),
             quarantined=list(stats_meta.get("quarantined", [])),
+            stage_seconds={k: float(v) for k, v in
+                           stats_meta.get("stage_seconds", {}).items()},
         )
         return dataset_a, dataset_b, stats
 
@@ -333,6 +335,7 @@ class DatasetCache:
                 "n_jobs": stats.n_jobs,
                 "n_retries": stats.n_retries,
                 "quarantined": list(stats.quarantined),
+                "stage_seconds": dict(stats.stage_seconds),
             },
         }
         manifest.write_text(json.dumps(meta, indent=1))

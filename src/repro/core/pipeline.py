@@ -120,10 +120,19 @@ class TrainingSummary:
         if g.n_quarantined or g.n_retries:
             quarantine = (f" [{g.n_quarantined} quarantined, "
                           f"{g.n_retries} retries]")
+        stages = ""
+        if g.stage_seconds:
+            order = ("distance", "cluster", "evaluate")
+            named = [n for n in order if n in g.stage_seconds]
+            named += sorted(set(g.stage_seconds) - set(order))
+            parts = ", ".join(
+                f"{n} {g.stage_seconds[n]:.1f}s" for n in named)
+            stages = f"labeling stages: {parts}\n"
         return (
             f"dataset: {g.n_networks} networks, "
             f"{g.n_blocks} blocks "
             f"({g.wall_time_s:.1f}s){quarantine}\n"
+            f"{stages}"
             f"hyperparameter model: test acc {h.test_accuracy:.1%}, "
             f"scheme-equivalent {h.equivalent_accuracy:.1%} "
             f"({h.epochs} epochs, {h.wall_time_s:.1f}s)\n"

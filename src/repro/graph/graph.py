@@ -67,6 +67,7 @@ class Graph:
         self._nodes: Dict[str, Node] = {}
         self._consumers: Dict[str, List[str]] = {}
         self._topo_cache: Optional[List[str]] = None
+        self._fingerprint_cache: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -85,6 +86,7 @@ class Graph:
         for src in node.inputs:
             self._consumers[src].append(node.name)
         self._topo_cache = None
+        self._fingerprint_cache = None
         return node
 
     # ------------------------------------------------------------------
@@ -211,16 +213,22 @@ class Graph:
         output shapes.  Frequency plans record the fingerprint of the
         graph they were computed for, so a stale plan applied to a
         renamed-but-different graph is detected at job start.
+
+        Cached until the next :meth:`add_node` (the digest keys the
+        hardware models' work and profile-table caches, so it is queried
+        far more often than graphs mutate).
         """
-        h = hashlib.sha256()
-        for node in self.compute_nodes():
-            h.update(node.name.encode())
-            h.update(node.op.value.encode())
-            h.update(repr(node.attrs).encode())
-            h.update(repr(node.inputs).encode())
-            h.update(repr(node.output_shape).encode())
-            h.update(b"\x00")
-        return h.hexdigest()[:16]
+        if self._fingerprint_cache is None:
+            h = hashlib.sha256()
+            for node in self.compute_nodes():
+                h.update(node.name.encode())
+                h.update(node.op.value.encode())
+                h.update(repr(node.attrs).encode())
+                h.update(repr(node.inputs).encode())
+                h.update(repr(node.output_shape).encode())
+                h.update(b"\x00")
+            self._fingerprint_cache = h.hexdigest()[:16]
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------
     # misc

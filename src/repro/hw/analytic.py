@@ -11,10 +11,21 @@ at a fixed level, vectorized over levels with numpy.
 The platform energy charged to a block includes the board and idle-CPU
 power for its duration, so very low frequencies are correctly penalized
 (stretching a block's runtime stretches the fixed-power energy too).
+
+Fast path: the labeling sweep asks for many block profiles of the same
+graph (every scheme's view, every block, every level).  A
+:class:`ProfileTable` holds per-op time/energy arrays at every level,
+computed once per ``(graph, batch_size)`` and fully vectorized over
+``(ops x levels)``; block profiles then reduce op rows instead of
+re-walking the operator list.  Every table query is **byte-identical**
+to the per-op loop of :meth:`AnalyticEvaluator.profile` (enforced by the
+hypothesis suites in ``tests/test_labeling_fastpath.py``); the loop
+implementations are retained as ``*_reference`` methods.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -24,6 +35,9 @@ from repro.graph import Graph
 from repro.hw.perf import LatencyModel, OpWork
 from repro.hw.platform import PlatformSpec
 from repro.hw.power import PowerModel
+
+#: Bounded size of the per-(fingerprint, batch) profile-table LRU.
+PROFILE_TABLE_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -38,6 +52,106 @@ class LevelProfile:
         """Relative energy efficiency (1/J); images cancel in argmax."""
         with np.errstate(divide="ignore"):
             return np.where(self.energies > 0, 1.0 / self.energies, 0.0)
+
+
+class ProfileTable:
+    """Per-op fixed-level profiles of one ``(graph, batch_size)``.
+
+    ``op_times``/``op_energies`` are ``(n_ops, n_levels)`` arrays holding
+    each operator's duration and GPU+DRAM energy (platform overhead is
+    charged per query, like the reference).  ``prefix_times``/
+    ``prefix_energies`` are ``(n_ops + 1, n_levels)`` sequential prefix
+    sums along the op axis, so any block anchored at op 0 — and the whole
+    graph — is a single O(n_levels) row lookup.
+
+    Exactness note: a general prefix *difference* ``prefix[j] -
+    prefix[i]`` is not bit-identical to summing the rows in order
+    (floating-point addition does not reassociate), so interior blocks
+    instead use ``np.add.reduce`` over their op rows — a sequential
+    accumulation over the outer axis, bit-identical to the reference
+    loop and still two orders of magnitude cheaper than re-walking ops
+    in Python.
+    """
+
+    def __init__(self, evaluator: "AnalyticEvaluator",
+                 op_times: np.ndarray, op_energies: np.ndarray) -> None:
+        self._evaluator = evaluator
+        self.op_times = op_times
+        self.op_energies = op_energies
+        n_ops, n_levels = op_times.shape
+        self.prefix_times = np.zeros((n_ops + 1, n_levels))
+        self.prefix_energies = np.zeros((n_ops + 1, n_levels))
+        np.cumsum(op_times, axis=0, out=self.prefix_times[1:])
+        np.cumsum(op_energies, axis=0, out=self.prefix_energies[1:])
+
+    @property
+    def n_ops(self) -> int:
+        return self.op_times.shape[0]
+
+    @property
+    def n_levels(self) -> int:
+        return self.op_times.shape[1]
+
+    @property
+    def overhead_power(self) -> float:
+        return self._evaluator.overhead_power
+
+    # ------------------------------------------------------------------
+    def block_profile(self, op_indices: Sequence[int]) -> LevelProfile:
+        """Fixed-level profile of a subset of ops (by canonical index)."""
+        idx = np.asarray(op_indices, dtype=np.intp)
+        if idx.size == 0:
+            times = np.zeros(self.n_levels)
+            energies = np.zeros(self.n_levels)
+        else:
+            start = int(idx[0])
+            stop = int(idx[-1]) + 1
+            contiguous = (stop - start == idx.size) and (
+                idx.size == 1 or bool(np.all(np.diff(idx) == 1)))
+            if contiguous and start == 0:
+                times = self.prefix_times[stop].copy()
+                energies = self.prefix_energies[stop].copy()
+            else:
+                rows = slice(start, stop) if contiguous else idx
+                times = np.add.reduce(self.op_times[rows], axis=0)
+                energies = np.add.reduce(self.op_energies[rows], axis=0)
+        energies = energies + self.overhead_power * times
+        return LevelProfile(times=times, energies=energies)
+
+    def graph_profile(self) -> LevelProfile:
+        """Whole-graph fixed-level profile (last prefix row)."""
+        times = self.prefix_times[-1].copy()
+        energies = self.prefix_energies[-1] + self.overhead_power * times
+        return LevelProfile(times=times, energies=energies)
+
+    def best_level_for_block(self, op_indices: Sequence[int],
+                             latency_slack: float = 0.25) -> int:
+        """Exhaustive-sweep optimal level for one block."""
+        return self._evaluator.best_level(self.block_profile(op_indices),
+                                          latency_slack)
+
+    def plan_energy_time(self, blocks: Sequence[Sequence[int]],
+                         levels: Sequence[int]) -> Tuple[float, float]:
+        """Analytic energy/time of running each block at its own level,
+        including per-boundary switch stalls."""
+        if len(blocks) != len(levels):
+            raise ValueError("one level per block required")
+        ev = self._evaluator
+        total_e = 0.0
+        total_t = 0.0
+        prev_level: Optional[int] = None
+        for block, level in zip(blocks, levels):
+            profile = self.block_profile(block)
+            total_e += float(profile.energies[level])
+            total_t += float(profile.times[level])
+            if prev_level is not None and level != prev_level:
+                stall = ev.platform.dvfs_stall_s
+                total_t += stall
+                idle_p = ev.power.gpu_idle(
+                    ev.platform.freq_of_level(level))
+                total_e += (idle_p + ev.overhead_power) * stall
+            prev_level = level
+        return total_e, total_t
 
 
 class AnalyticEvaluator:
@@ -60,11 +174,18 @@ class AnalyticEvaluator:
         self.overhead_power = (
             platform.board_power + self.power.cpu_idle(cpu_fmin)
         )
+        self._table_cache: "OrderedDict[Tuple[str, int], ProfileTable]" \
+            = OrderedDict()
 
     # ------------------------------------------------------------------
     def profile(self, works: Sequence[OpWork],
                 batch_size: int = 1) -> LevelProfile:
-        """Time and platform energy of ``works`` at every level."""
+        """Time and platform energy of ``works`` at every level.
+
+        This per-op loop is the reference semantics every fast path must
+        reproduce bit for bit; :meth:`profile_table` is the vectorized
+        equivalent for repeated queries against one graph.
+        """
         p = self.platform
         n_levels = p.n_levels
         times = np.zeros(n_levels)
@@ -90,14 +211,78 @@ class AnalyticEvaluator:
         energies += self.overhead_power * times
         return LevelProfile(times=times, energies=energies)
 
+    # ------------------------------------------------------------------
+    def _build_profile_table(self, works: Sequence[OpWork],
+                             batch_size: int) -> ProfileTable:
+        """Vectorized ``(ops x levels)`` evaluation of :meth:`profile`.
+
+        Every expression keeps the reference loop's operand association
+        (e.g. ``(flops_per_cycle * f) * eff``, ``(amp * mem) * batch``),
+        so each table cell carries the identical rounding history and the
+        per-op rows are bit-equal to the loop's per-op contributions.
+        """
+        p = self.platform
+        f = self._freqs
+        v2f = self._volts ** 2 * f
+        static = p.leak_w_per_v * self._volts
+        n = len(works)
+        # Integer products stay exact before the single float rounding,
+        # matching `work.flops * batch_size` in the loop.
+        fb = np.array([w.flops * batch_size for w in works], dtype=float)
+        mem = np.array([w.mem_bytes for w in works], dtype=float)
+        eff = np.array([p.op_efficiency.get(w.category, 0.2)
+                        for w in works], dtype=float)
+        cap = np.array([p.intensity_caps.get(w.category, 1.0)
+                        for w in works], dtype=float)
+        amp = np.array([p.traffic_amplification.get(w.category, 1.0)
+                        for w in works], dtype=float)
+        t_c = fb[:, None] / ((p.flops_per_cycle * f)[None, :]
+                             * eff[:, None])
+        streaming = np.zeros(n)
+        np.divide(fb, cap, out=streaming, where=cap > 0)
+        bytes_moved = amp * mem * batch_size + streaming
+        t_m = bytes_moved[:, None] / self._bw[None, :]
+        dur = np.maximum(t_c, t_m) + p.kernel_launch_s
+        u_c = np.minimum(1.0, t_c / dur)
+        activity = u_c + p.stall_power_fraction * (1.0 - u_c)
+        gpu_power = static[None, :] + (v2f * p.c_eff)[None, :] * activity
+        op_energies = gpu_power * dur + \
+            (p.dram_energy_per_byte * bytes_moved)[:, None]
+        return ProfileTable(self, dur, op_energies)
+
+    def profile_table(self, graph: Graph,
+                      batch_size: int = 1) -> ProfileTable:
+        """Per-op level-profile table of ``graph``, built once per
+        ``(graph fingerprint, batch_size)`` and kept in a bounded LRU."""
+        key = (graph.fingerprint(), int(batch_size))
+        table = self._table_cache.get(key)
+        if table is not None:
+            self._table_cache.move_to_end(key)
+            return table
+        table = self._build_profile_table(
+            self.latency.graph_work(graph), batch_size)
+        self._table_cache[key] = table
+        while len(self._table_cache) > PROFILE_TABLE_CACHE_SIZE:
+            self._table_cache.popitem(last=False)
+        return table
+
+    # ------------------------------------------------------------------
     def graph_profile(self, graph: Graph,
                       batch_size: int = 1) -> LevelProfile:
         """Whole-graph fixed-level profile."""
-        return self.profile(self.latency.graph_work(graph), batch_size)
+        return self.profile_table(graph, batch_size).graph_profile()
 
     def block_profile(self, graph: Graph, op_indices: Sequence[int],
                       batch_size: int = 1) -> LevelProfile:
         """Fixed-level profile of a subset of compute nodes."""
+        return self.profile_table(graph, batch_size).block_profile(
+            op_indices)
+
+    def block_profile_reference(self, graph: Graph,
+                                op_indices: Sequence[int],
+                                batch_size: int = 1) -> LevelProfile:
+        """Reference per-op-loop implementation of :meth:`block_profile`
+        (retained for the equivalence suite and benchmark baseline)."""
         works = self.latency.graph_work(graph)
         return self.profile([works[i] for i in op_indices], batch_size)
 
@@ -140,8 +325,8 @@ class AnalyticEvaluator:
                              latency_slack: float = 0.25) -> int:
         """Exhaustive-sweep optimal level for one block (the labeling
         rule of Dataset B)."""
-        profile = self.block_profile(graph, op_indices, batch_size)
-        return self.best_level(profile, latency_slack)
+        return self.profile_table(graph, batch_size).best_level_for_block(
+            op_indices, latency_slack)
 
     def plan_energy_time(self, graph: Graph,
                          blocks: Sequence[Sequence[int]],
@@ -149,13 +334,23 @@ class AnalyticEvaluator:
                          batch_size: int = 1) -> Tuple[float, float]:
         """Analytic energy/time of running each block at its own level,
         including per-boundary switch stalls."""
+        return self.profile_table(graph, batch_size).plan_energy_time(
+            blocks, levels)
+
+    def plan_energy_time_reference(
+            self, graph: Graph, blocks: Sequence[Sequence[int]],
+            levels: Sequence[int],
+            batch_size: int = 1) -> Tuple[float, float]:
+        """Reference loop implementation of :meth:`plan_energy_time`
+        (retained for the equivalence suite and benchmark baseline)."""
         if len(blocks) != len(levels):
             raise ValueError("one level per block required")
         total_e = 0.0
         total_t = 0.0
         prev_level: Optional[int] = None
         for block, level in zip(blocks, levels):
-            profile = self.block_profile(graph, block, batch_size)
+            profile = self.block_profile_reference(graph, block,
+                                                   batch_size)
             total_e += float(profile.energies[level])
             total_t += float(profile.times[level])
             if prev_level is not None and level != prev_level:

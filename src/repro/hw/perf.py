@@ -16,13 +16,16 @@ intensity' feature captures.
 
 from __future__ import annotations
 
-import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.graph import Graph, node_metrics
 from repro.graph.graph import Node
 from repro.hw.platform import PlatformSpec
+
+#: Bounded size of the per-fingerprint graph-work LRU.
+WORK_CACHE_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -78,10 +81,11 @@ class LatencyModel:
 
     def __init__(self, platform: PlatformSpec) -> None:
         self.platform = platform
-        # Keyed by id(graph) but guarded by a weak reference: ids are
-        # recycled after garbage collection, so a hit only counts when
-        # the weakly referenced graph is still the same object.
-        self._work_cache: Dict[int, Tuple[weakref.ref, List[OpWork]]] = {}
+        # Keyed by graph fingerprint (content-addressed, so regenerated
+        # but structurally identical graphs share one entry) and bounded
+        # so a long labeling run over thousands of random networks
+        # cannot grow the cache without limit.
+        self._work_cache: "OrderedDict[str, List[OpWork]]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def op_work(self, graph: Graph, node: Node) -> OpWork:
@@ -96,13 +100,16 @@ class LatencyModel:
 
     def graph_work(self, graph: Graph) -> List[OpWork]:
         """Per-batch-element workload of every compute node, cached by
-        graph identity."""
-        key = id(graph)
-        hit = self._work_cache.get(key)
-        if hit is not None and hit[0]() is graph:
-            return hit[1]
+        graph fingerprint in a bounded LRU."""
+        key = graph.fingerprint()
+        works = self._work_cache.get(key)
+        if works is not None:
+            self._work_cache.move_to_end(key)
+            return works
         works = [self.op_work(graph, n) for n in graph.compute_nodes()]
-        self._work_cache[key] = (weakref.ref(graph), works)
+        self._work_cache[key] = works
+        while len(self._work_cache) > WORK_CACHE_SIZE:
+            self._work_cache.popitem(last=False)
         return works
 
     # ------------------------------------------------------------------

@@ -143,3 +143,38 @@ class TestProgressAndStats:
     def test_invalid_count_still_rejected(self, tiny_platform):
         with pytest.raises(ValueError):
             _small_generator(tiny_platform).generate(0)
+
+
+class TestCacheKeyStability:
+    def test_default_config_key_is_pinned(self):
+        """The dataset cache key for the default TX2 configuration is
+        pinned to a literal: the labeling fast path is byte-identical to
+        the pre-optimization implementation, so previously cached
+        corpora must remain valid (no key churn, no version bump).  If
+        this test fails, either generation output genuinely changed
+        (bump ``DATASET_CACHE_VERSION`` and re-pin) or the key function
+        picked up an accidental input."""
+        from repro.core.persistence import dataset_cache_key
+        from repro.core.schemes import default_scheme_grid
+        from repro.hw.platform import jetson_tx2
+
+        key = dataset_cache_key(
+            jetson_tx2(), default_scheme_grid(), RandomDNNConfig(),
+            batch_size=16, latency_slack=0.25, alpha=0.6, lam=0.05,
+            n_networks=300, seed=0)
+        assert key == "6e32124be0667f530303dc9a7e4368df"
+
+
+class TestStageTelemetry:
+    def test_stage_seconds_aggregated(self, tiny_platform):
+        """Per-network labeling stage timings roll up into
+        GenerationStats across both generation paths."""
+        _a, _b, stats = _small_generator(tiny_platform).generate(
+            4, seed=3, n_jobs=1)
+        assert set(stats.stage_seconds) == \
+            {"distance", "cluster", "evaluate"}
+        assert all(v >= 0.0 for v in stats.stage_seconds.values())
+        _a, _b, pooled = _small_generator(tiny_platform).generate(
+            4, seed=3, n_jobs=2)
+        assert set(pooled.stage_seconds) == \
+            {"distance", "cluster", "evaluate"}
