@@ -18,6 +18,14 @@ figure of the paper can be regenerated from a shell::
 floor-clamping thermal window sized from the measured fault-free run)
 or an explicit ``key=value,...`` spec, e.g.
 ``switch_drop_rate=0.05,telemetry_drop_rate=0.02,cap=0.25:0.6:6``.
+
+Observability: every experiment command accepts ``--trace out.jsonl``
+(JSONL span trace of the whole run, metrics snapshot appended) and
+``--metrics out.prom`` (Prometheus-style text exposition).  Both are
+observe-only — results are byte-identical with or without them.  A
+written trace is replayed with::
+
+    powerlens trace out.jsonl
 """
 
 from __future__ import annotations
@@ -31,6 +39,15 @@ def _add_platform(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--platform", default="tx2",
                         choices=["tx2", "agx"],
                         help="hardware preset (default: tx2)")
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL span trace of this run "
+                             "(replay with 'powerlens trace PATH')")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write run metrics as Prometheus-style "
+                             "text exposition")
 
 
 def _add_networks(parser: argparse.ArgumentParser) -> None:
@@ -60,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "per model (Table 1)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
     p.add_argument("--runs", type=int, default=10,
                    help="randomized runs per EE test (paper: 50)")
     p.add_argument("--models", nargs="*", default=None)
@@ -67,32 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="clustering ablation (Table 2)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
     p.add_argument("--runs", type=int, default=10)
     p.add_argument("--models", nargs="*", default=None)
 
     p = sub.add_parser("table3", help="offline overhead (Table 3)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
 
     p = sub.add_parser("figure1", help="ping-pong/lag trace (Figure 1)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
     p.add_argument("--model", default="resnet152")
 
     p = sub.add_parser("figure5", help="task-flow processing (Figure 5)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
     p.add_argument("--tasks", type=int, default=100)
 
     p = sub.add_parser("accuracy", help="prediction-model accuracy "
                                         "(section 2.2)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
 
     p = sub.add_parser("analyze", help="show the power view and plan "
                                        "for one model")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
     p.add_argument("--model", default="resnet152")
 
     p = sub.add_parser("robustness",
@@ -100,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(resilient vs. naive preset runtime)")
     _add_platform(p)
     _add_networks(p)
+    _add_obs(p)
     p.add_argument("--runs", type=int, default=10,
                    help="randomized runs per EE test")
     p.add_argument("--models", nargs="*", default=None)
@@ -110,8 +135,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-profile multipliers to sweep "
                         "(default: 0 0.5 1 2)")
 
+    p = sub.add_parser("trace", help="summarize a JSONL span trace "
+                                     "written with --trace")
+    p.add_argument("file", help="trace file (JSON Lines)")
+    p.add_argument("--depth", type=int, default=4,
+                   help="span-tree depth to render (default: 4)")
+
     sub.add_parser("models", help="list available model names")
     return parser
+
+
+def _export_obs(obs, trace_path: Optional[str],
+                metrics_path: Optional[str]) -> None:
+    """Write the session trace / metrics files, if requested."""
+    if obs is None:
+        return
+    if trace_path:
+        obs.tracer.export_jsonl(trace_path, metrics=obs.metrics)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if metrics_path:
+        from pathlib import Path
+        Path(metrics_path).write_text(obs.metrics.to_prometheus_text())
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -121,6 +166,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.models import list_models
         print("\n".join(list_models()))
         return 0
+
+    if args.command == "trace":
+        from repro.obs import read_trace, summarize_trace
+        print(summarize_trace(read_trace(args.file),
+                              max_depth=args.depth))
+        return 0
+
+    # Observe-only session bundle, built only when asked for — the
+    # default path carries the shared no-op bundle through every layer.
+    trace_path: Optional[str] = getattr(args, "trace", None)
+    metrics_path: Optional[str] = getattr(args, "metrics", None)
+    obs = None
+    if trace_path or metrics_path:
+        from repro.obs import Observability
+        obs = Observability.enabled_bundle()
 
     # Everything else needs a fitted context.  The CLI caches generated
     # datasets by default (the library default is off): repeated table /
@@ -138,13 +198,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import run_accuracy
         result = run_accuracy(args.platform, n_networks=args.networks,
                               n_jobs=n_jobs, use_cache=use_cache,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, obs=obs)
         print(result.format_table())
+        _export_obs(obs, trace_path, metrics_path)
         return 0
 
     ctx = get_context(args.platform, n_networks=args.networks,
                       n_jobs=n_jobs, use_cache=use_cache,
-                      cache_dir=cache_dir)
+                      cache_dir=cache_dir, obs=obs)
     summary = getattr(ctx.lens, "training_summary", None)
     if summary is not None and summary.generation.n_quarantined:
         gen = summary.generation
@@ -197,10 +258,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "analyze":
         plan = ctx.lens.analyze(ctx.graph(args.model))
         print(plan.summary())
+        _export_obs(obs, trace_path, metrics_path)
         return 0
     else:  # pragma: no cover - argparse guards this
         return 2
     print(result.format_table())
+    _export_obs(obs, trace_path, metrics_path)
     return 0
 
 

@@ -49,6 +49,7 @@ from repro.models.random_gen import (
     RandomDNNGenerator,
     spawn_seeds,
 )
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass
@@ -233,7 +234,7 @@ def _generate_one(gen: "DatasetGenerator", task: _NetworkTask
     labels = label_network(
         gen.evaluator, graph, feats, gen.schemes,
         batch_size=gen.batch_size, latency_slack=gen.latency_slack,
-        alpha=gen.alpha, lam=gen.lam)
+        alpha=gen.alpha, lam=gen.lam, tracer=gen.obs.tracer)
     if labels.blocks:
         block_x = np.vstack([gen.global_.extract(graph, block).vector
                              for block in labels.blocks])
@@ -281,7 +282,8 @@ class DatasetGenerator:
                  batch_size: int = 16, latency_slack: float = 0.25,
                  alpha: float = 0.6, lam: float = 0.05,
                  dnn_config: Optional[RandomDNNConfig] = None,
-                 faults: Optional[FaultProfile] = None) -> None:
+                 faults: Optional[FaultProfile] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.platform = platform
         self.schemes = list(schemes) if schemes else default_scheme_grid()
         self.batch_size = batch_size
@@ -290,6 +292,11 @@ class DatasetGenerator:
         self.lam = lam
         self.dnn_config = dnn_config or RandomDNNConfig()
         self.faults = faults
+        # Observe-only: spans/counters never influence the datasets.
+        # Worker processes get a fresh generator without obs (the pool
+        # initializer does not forward it), so traces cover the serial
+        # path and counters are accumulated coordinator-side.
+        self.obs = obs if obs is not None else NULL_OBS
         self.evaluator = AnalyticEvaluator(platform)
         self.depthwise = DepthwiseFeatureExtractor()
         self.global_ = GlobalFeatureExtractor()
@@ -322,6 +329,26 @@ class DatasetGenerator:
         if n_jobs is None or n_jobs < 1:
             n_jobs = os.cpu_count() or 1
         n_jobs = min(int(n_jobs), n_networks)
+        with self.obs.tracer.span("generate", n_networks=n_networks,
+                                  n_jobs=n_jobs) as span:
+            dataset_a, dataset_b, stats = self._generate(
+                n_networks, seed, n_jobs, progress)
+            span.set(n_blocks=stats.n_blocks,
+                     n_quarantined=stats.n_quarantined)
+        metrics = self.obs.metrics
+        metrics.counter("powerlens_networks_labeled_total").inc(
+            stats.n_networks)
+        metrics.counter("powerlens_blocks_labeled_total").inc(
+            stats.n_blocks)
+        metrics.counter("powerlens_labeling_retries_total").inc(
+            stats.n_retries)
+        metrics.counter("powerlens_networks_quarantined_total").inc(
+            stats.n_quarantined)
+        return dataset_a, dataset_b, stats
+
+    def _generate(self, n_networks: int, seed: int, n_jobs: int,
+                  progress: Optional[ProgressCallback]
+                  ) -> Tuple[DatasetA, DatasetB, GenerationStats]:
         t0 = time.perf_counter()
         tasks = [_NetworkTask(index=i, seed=s)
                  for i, s in enumerate(spawn_seeds(seed, n_networks))]

@@ -26,14 +26,18 @@ Output is byte-identical to the retained pre-optimization path
 (:func:`label_network_reference`); the equivalence is property-tested in
 ``tests/test_labeling_fastpath.py``.  Per-stage wall time (distance /
 cluster / evaluate) is reported through ``NetworkLabels.stage_seconds``
-and aggregated into ``GenerationStats``.
+and aggregated into ``GenerationStats``.  Stage timing is span-derived:
+each stage chunk runs inside a span on a private aggregate-only
+:class:`~repro.obs.tracing.Tracer` (mirrored into an optional session
+tracer for trace export), and ``stage_seconds`` is read back from the
+span aggregates — there is no second, hand-timed clock.
 """
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +50,10 @@ from repro.core.clustering import (
 from repro.core.schemes import ClusteringScheme
 from repro.graph import Graph
 from repro.hw.analytic import AnalyticEvaluator, ProfileTable
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+#: The labeling pipeline's stage names, in pipeline order.
+STAGE_NAMES = ("distance", "cluster", "evaluate")
 
 
 def block_optimal_level(evaluator: AnalyticEvaluator, graph: Graph,
@@ -116,23 +124,34 @@ class _SchemeSweep:
     stage_seconds: Dict[str, float]
 
 
+@contextmanager
+def _stage_span(session: Tracer, local: Tracer,
+                name: str) -> Iterator[None]:
+    """One stage chunk: a span on the private aggregate tracer (the
+    source of ``stage_seconds``) mirrored into the session tracer."""
+    with session.span(name), local.span(name):
+        yield
+
+
 def _sweep_schemes(evaluator: AnalyticEvaluator, graph: Graph,
                    features: np.ndarray,
                    schemes: Sequence[ClusteringScheme],
                    batch_size: int, latency_slack: float, alpha: float,
-                   lam: float, quality_tolerance: float) -> _SchemeSweep:
+                   lam: float, quality_tolerance: float,
+                   tracer: Optional[Tracer] = None) -> _SchemeSweep:
     """Single memoized pass over the scheme grid.
 
     The distance matrix depends on the scheme only through its smoothing
     window, and the quality/levels only through the resulting partition,
     so both are computed once per distinct key.  Wall time is split into
-    the three stages of the pipeline for ``GenerationStats``.
+    the three pipeline stages via spans (see :func:`_stage_span`) and
+    read back from the span aggregates for ``GenerationStats``.
     """
-    stage = {"distance": 0.0, "cluster": 0.0, "evaluate": 0.0}
+    session = tracer if tracer is not None else NULL_TRACER
+    local = Tracer(keep_spans=False)
     n = features.shape[0]
-    t0 = time.perf_counter()
-    table = evaluator.profile_table(graph, batch_size)
-    stage["evaluate"] += time.perf_counter() - t0
+    with _stage_span(session, local, "evaluate"):
+        table = evaluator.profile_table(graph, batch_size)
 
     distances: Dict[int, np.ndarray] = {}
     evaluations: Dict[tuple, Tuple[float, List[int]]] = {}
@@ -148,26 +167,24 @@ def _sweep_schemes(evaluator: AnalyticEvaluator, graph: Graph,
             window = max(2, scheme.min_pts)
             distance = distances.get(window)
             if distance is None:
-                t0 = time.perf_counter()
-                distance = smoothed_power_distance(features, window,
-                                                   alpha=alpha, lam=lam)
+                with _stage_span(session, local, "distance"):
+                    distance = smoothed_power_distance(
+                        features, window, alpha=alpha, lam=lam)
                 distances[window] = distance
-                stage["distance"] += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            blocks = blocks_from_distance(distance, scheme.eps,
-                                          scheme.min_pts)
-            stage["cluster"] += time.perf_counter() - t0
+            with _stage_span(session, local, "cluster"):
+                blocks = blocks_from_distance(distance, scheme.eps,
+                                              scheme.min_pts)
         views.append(blocks)
-        t0 = time.perf_counter()
-        key = _partition_key(blocks)
-        hit = evaluations.get(key)
-        if hit is None:
-            hit = _evaluate_view(table, blocks, latency_slack)
-            evaluations[key] = hit
-        stage["evaluate"] += time.perf_counter() - t0
+        with _stage_span(session, local, "evaluate"):
+            key = _partition_key(blocks)
+            hit = evaluations.get(key)
+            if hit is None:
+                hit = _evaluate_view(table, blocks, latency_slack)
+                evaluations[key] = hit
         quality, levels = hit
         qualities.append(quality)
         levels_by_view.append(levels)
+    stage = {name: local.total(name) for name in STAGE_NAMES}
 
     top = max(qualities)
     if top <= 0:
@@ -234,7 +251,8 @@ def label_network(evaluator: AnalyticEvaluator, graph: Graph,
                   features: np.ndarray,
                   schemes: Sequence[ClusteringScheme], *,
                   batch_size: int = 16, latency_slack: float = 0.25,
-                  alpha: float = 0.6, lam: float = 0.05) -> NetworkLabels:
+                  alpha: float = 0.6, lam: float = 0.05,
+                  tracer: Optional[Tracer] = None) -> NetworkLabels:
     """Label one network end-to-end: scheme sweep + per-block frequency
     sweep of the winning view.
 
@@ -243,10 +261,19 @@ def label_network(evaluator: AnalyticEvaluator, graph: Graph,
     generation paths share it verbatim and their outputs are
     byte-identical.  The winning view's level plan was already computed
     during the sweep and is returned as-is (no second sweep).
+
+    ``tracer`` (optional, observe-only) wraps the call in a
+    ``label_network`` span with the per-stage chunks nested under it;
+    it never influences the labels.
     """
-    sweep = _sweep_schemes(evaluator, graph, features, schemes,
-                           batch_size, latency_slack, alpha, lam,
-                           quality_tolerance=0.01)
+    session = tracer if tracer is not None else NULL_TRACER
+    with session.span("label_network", graph=graph.name,
+                      n_ops=int(features.shape[0])) as sp:
+        sweep = _sweep_schemes(evaluator, graph, features, schemes,
+                               batch_size, latency_slack, alpha, lam,
+                               quality_tolerance=0.01, tracer=session)
+        sp.set(best_scheme=sweep.best,
+               n_blocks=len(sweep.views[sweep.best]))
     return NetworkLabels(best_scheme=sweep.best,
                          blocks=sweep.views[sweep.best],
                          qualities=sweep.qualities,

@@ -5,54 +5,56 @@ per-network workflow time (feature extraction, hyper-parameter
 prediction, clustering, per-block decisions).  :class:`StageTimer`
 accumulates wall-clock per named stage; :class:`OverheadReport` renders
 the Table-3 layout.
+
+Since the observability subsystem landed, stage timing is span-derived
+rather than hand-timed: every ``stage()`` block is one span on a
+private always-on aggregate-only :class:`~repro.obs.tracing.Tracer`
+(so Table 3 works with observability off), *mirrored* into an optional
+session tracer so the same intervals appear in exported traces.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 
 class StageTimer:
-    """Accumulates wall time per named stage."""
+    """Accumulates wall time per named stage (span-backed).
 
-    def __init__(self) -> None:
-        self._totals: Dict[str, float] = {}
-        self._counts: Dict[str, int] = {}
+    ``tracer`` mirrors every stage into a session tracer for trace
+    export; when omitted (or disabled) only the private aggregates are
+    kept — exactly the pre-observability behaviour.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._agg = Tracer(keep_spans=False)
+        self._mirror = tracer if tracer is not None else NULL_TRACER
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        t0 = time.perf_counter()
-        try:
+        with self._mirror.span(name), self._agg.span(name):
             yield
-        finally:
-            dt = time.perf_counter() - t0
-            self._totals[name] = self._totals.get(name, 0.0) + dt
-            self._counts[name] = self._counts.get(name, 0) + 1
 
     def record(self, name: str, seconds: float) -> None:
         """Record an externally measured duration."""
-        if seconds < 0:
-            raise ValueError("duration must be non-negative")
-        self._totals[name] = self._totals.get(name, 0.0) + seconds
-        self._counts[name] = self._counts.get(name, 0) + 1
+        self._agg.record(name, seconds)
+        self._mirror.record(name, seconds)
 
     def total(self, name: str) -> float:
-        return self._totals.get(name, 0.0)
+        return self._agg.total(name)
 
     def mean(self, name: str) -> float:
-        count = self._counts.get(name, 0)
-        if count == 0:
-            return 0.0
-        return self._totals[name] / count
+        return self._agg.mean(name)
 
     def stages(self) -> List[str]:
-        return list(self._totals)
+        return self._agg.names()
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._totals)
+        return self._agg.totals()
 
 
 @dataclass

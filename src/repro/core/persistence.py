@@ -33,6 +33,7 @@ from repro.core.schemes import ClusteringScheme
 from repro.hw.faults import FaultProfile
 from repro.hw.platform import PlatformSpec
 from repro.models.random_gen import RandomDNNConfig
+from repro.obs import NULL_OBS, Observability
 from repro.nn.serialize import (
     load_params,
     save_params,
@@ -218,12 +219,14 @@ class DatasetCache:
     regenerates it cleanly.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(self, directory: Union[str, Path],
+                 obs: Optional[Observability] = None) -> None:
         self.directory = Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
             raise ValueError(
                 f"dataset cache path {self.directory} exists and is "
                 f"not a directory")
+        self.obs = obs if obs is not None else NULL_OBS
 
     def _paths(self, key: str) -> Tuple[Path, Path, Path]:
         stem = self.directory / key
@@ -240,6 +243,9 @@ class DatasetCache:
                 removed += 1
             except FileNotFoundError:
                 pass
+        if removed:
+            self.obs.metrics.counter(
+                "powerlens_dataset_cache_evictions_total").inc()
         return removed
 
     def _manifest_for(self, key: str) -> Optional[dict]:
@@ -275,6 +281,16 @@ class DatasetCache:
         are evicted on the spot.  The returned stats carry the
         *original* generation cost with ``cache_hit=True``, so callers
         can both report the hit and see what it saved."""
+        with self.obs.tracer.span("cache_load", key=key) as span:
+            entry = self._load(key)
+            span.set(hit=entry is not None)
+        self.obs.metrics.counter(
+            "powerlens_dataset_cache_hits_total" if entry is not None
+            else "powerlens_dataset_cache_misses_total").inc()
+        return entry
+
+    def _load(self, key: str
+              ) -> Optional[Tuple[DatasetA, DatasetB, GenerationStats]]:
         meta = self._manifest_for(key)
         if meta is None:
             self.evict(key)
@@ -297,25 +313,35 @@ class DatasetCache:
         except (OSError, ValueError, KeyError):
             self.evict(key)
             return None
-        stats_meta = meta.get("stats", {})
+        # Manifests written before the stats block grew its current
+        # shape (pre stage_seconds, or with explicit nulls) must still
+        # load — `or`-normalize every container before iterating.
+        stats_meta = meta.get("stats") or {}
         stats = GenerationStats(
-            n_networks=int(stats_meta.get("n_networks", len(dataset_a))),
-            n_blocks=int(stats_meta.get("n_blocks", len(dataset_b))),
-            wall_time_s=float(stats_meta.get("wall_time_s", 0.0)),
+            n_networks=int(stats_meta.get("n_networks", len(dataset_a))
+                           or len(dataset_a)),
+            n_blocks=int(stats_meta.get("n_blocks", len(dataset_b))
+                         or len(dataset_b)),
+            wall_time_s=float(stats_meta.get("wall_time_s") or 0.0),
             blocks_per_network=list(
-                stats_meta.get("blocks_per_network", [])),
-            n_jobs=int(stats_meta.get("n_jobs", 1)),
+                stats_meta.get("blocks_per_network") or []),
+            n_jobs=int(stats_meta.get("n_jobs") or 1),
             cache_hit=True,
-            n_retries=int(stats_meta.get("n_retries", 0)),
-            quarantined=list(stats_meta.get("quarantined", [])),
+            n_retries=int(stats_meta.get("n_retries") or 0),
+            quarantined=list(stats_meta.get("quarantined") or []),
             stage_seconds={k: float(v) for k, v in
-                           stats_meta.get("stage_seconds", {}).items()},
+                           (stats_meta.get("stage_seconds") or {}).items()},
         )
         return dataset_a, dataset_b, stats
 
     def store(self, key: str, dataset_a: DatasetA, dataset_b: DatasetB,
               stats: GenerationStats) -> Path:
         """Persist one entry; returns the manifest path."""
+        with self.obs.tracer.span("cache_store", key=key):
+            return self._store(key, dataset_a, dataset_b, stats)
+
+    def _store(self, key: str, dataset_a: DatasetA, dataset_b: DatasetB,
+               stats: GenerationStats) -> Path:
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest, path_a, path_b = self._paths(key)
         dataset_a.save(path_a)
@@ -339,6 +365,8 @@ class DatasetCache:
             },
         }
         manifest.write_text(json.dumps(meta, indent=1))
+        self.obs.metrics.counter(
+            "powerlens_dataset_cache_stores_total").inc()
         return manifest
 
     def clear(self) -> int:

@@ -45,6 +45,7 @@ from repro.hw.analytic import AnalyticEvaluator
 from repro.hw.faults import FaultProfile
 from repro.hw.platform import PlatformSpec
 from repro.models.random_gen import RandomDNNConfig
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -209,7 +210,8 @@ class PowerLens:
     """The adaptive DVFS framework, bound to one hardware platform."""
 
     def __init__(self, platform: PlatformSpec,
-                 config: Optional[PowerLensConfig] = None) -> None:
+                 config: Optional[PowerLensConfig] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.platform = platform
         self.config = config or PowerLensConfig()
         self.evaluator = AnalyticEvaluator(platform)
@@ -218,7 +220,10 @@ class PowerLens:
         self.schemes = list(self.config.schemes)
         self.hyperparam_model: Optional[HyperparamPredictor] = None
         self.decision_model: Optional[DecisionModel] = None
-        self.overhead = StageTimer()
+        # Observe-only: threaded into the stage timer, the dataset
+        # generator, and the dataset cache; never changes any output.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.overhead = StageTimer(tracer=self.obs.tracer)
         self.training_summary: Optional[TrainingSummary] = None
 
     # ------------------------------------------------------------------
@@ -253,10 +258,11 @@ class PowerLens:
             self.platform, schemes=self.schemes,
             batch_size=cfg.batch_size, latency_slack=cfg.latency_slack,
             alpha=cfg.alpha, lam=cfg.lam, dnn_config=cfg.dnn_config,
-            faults=cfg.fault_profile)
+            faults=cfg.fault_profile, obs=self.obs)
 
         cache_dir = resolve_cache_dir(cfg.cache_dir) if use_cache else None
-        cache = DatasetCache(cache_dir) if cache_dir is not None else None
+        cache = DatasetCache(cache_dir, obs=self.obs) \
+            if cache_dir is not None else None
         key = dataset_cache_key(
             self.platform, self.schemes, generator.dnn_config,
             batch_size=cfg.batch_size, latency_slack=cfg.latency_slack,
@@ -264,33 +270,38 @@ class PowerLens:
             seed=seed,
             fault_profile=cfg.fault_profile) if cache is not None else None
 
-        with self.overhead.stage("dataset generation"):
-            cached = cache.load(key) if cache is not None else None
-            if cached is not None:
-                dataset_a, dataset_b, gen_stats = cached
-            else:
-                dataset_a, dataset_b, gen_stats = generator.generate(
-                    n_networks, seed=seed, n_jobs=n_jobs,
-                    progress=progress)
-                if cache is not None:
-                    cache.store(key, dataset_a, dataset_b, gen_stats)
+        with self.obs.tracer.span("fit", platform=self.platform.name,
+                                  n_networks=n_networks, seed=seed) as span:
+            with self.overhead.stage("dataset generation"):
+                cached = cache.load(key) if cache is not None else None
+                if cached is not None:
+                    dataset_a, dataset_b, gen_stats = cached
+                else:
+                    dataset_a, dataset_b, gen_stats = generator.generate(
+                        n_networks, seed=seed, n_jobs=n_jobs,
+                        progress=progress)
+                    if cache is not None:
+                        cache.store(key, dataset_a, dataset_b, gen_stats)
 
-        self.hyperparam_model = HyperparamPredictor(
-            self.schemes,
-            structural_dim=dataset_a.x_struct.shape[1],
-            statistics_dim=dataset_a.x_stats.shape[1],
-            seed=seed)
-        with self.overhead.stage(
-                "clustering hyperparameter prediction model"):
-            report_a = self.hyperparam_model.fit(dataset_a, seed=seed,
-                                                 verbose=verbose)
-        self.decision_model = DecisionModel(
-            input_dim=dataset_b.x.shape[1],
-            n_levels=self.platform.n_levels,
-            seed=seed)
-        with self.overhead.stage("decision model"):
-            report_b = self.decision_model.fit(dataset_b, seed=seed,
-                                               verbose=verbose)
+            self.hyperparam_model = HyperparamPredictor(
+                self.schemes,
+                structural_dim=dataset_a.x_struct.shape[1],
+                statistics_dim=dataset_a.x_stats.shape[1],
+                seed=seed)
+            self.decision_model = DecisionModel(
+                input_dim=dataset_b.x.shape[1],
+                n_levels=self.platform.n_levels,
+                seed=seed)
+            with self.obs.tracer.span("train"):
+                with self.overhead.stage(
+                        "clustering hyperparameter prediction model"):
+                    report_a = self.hyperparam_model.fit(
+                        dataset_a, seed=seed, verbose=verbose)
+                with self.overhead.stage("decision model"):
+                    report_b = self.decision_model.fit(
+                        dataset_b, seed=seed, verbose=verbose)
+            span.set(cache_hit=gen_stats.cache_hit,
+                     n_blocks=gen_stats.n_blocks)
         self.training_summary = TrainingSummary(
             hyperparam_report=report_a,
             decision_report=report_b,
@@ -312,6 +323,13 @@ class PowerLens:
         self._require_fitted()
         assert self.hyperparam_model and self.decision_model
         cfg = self.config
+        with self.obs.tracer.span("analyze", graph=graph.name) as span:
+            plan = self._analyze(graph, cfg)
+            span.set(n_blocks=plan.n_blocks)
+        return plan
+
+    def _analyze(self, graph: Graph, cfg: PowerLensConfig) -> PowerLensPlan:
+        assert self.hyperparam_model and self.decision_model
         with self.overhead.stage("feature extraction"):
             feats = self.depthwise.extract_scaled(graph)
             global_feats = self.global_.extract(graph)
@@ -412,7 +430,8 @@ class PowerLens:
         make = self.oracle_plan if oracle else self.analyze
         plans = [make(g).plan for g in graphs]
         name = "powerlens-oracle" if oracle else "powerlens"
-        return PresetGovernor(plans, name=name, resilient=resilient)
+        return PresetGovernor(plans, name=name, resilient=resilient,
+                              metrics=self.obs.metrics)
 
     # ------------------------------------------------------------------
     def overhead_report(self) -> OverheadReport:

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core import PowerLens, PowerLensConfig
 from repro.core.pipeline import TrainingSummary
 from repro.hw import get_platform
+from repro.obs import Observability
 
 
 @dataclass
@@ -51,13 +52,14 @@ def run_accuracy(platform_name: str = "tx2", n_networks: int = 400,
                  seed: int = 0,
                  lens: Optional[PowerLens] = None, n_jobs: int = 1,
                  use_cache: bool = True,
-                 cache_dir: Optional[str] = None) -> AccuracyResult:
+                 cache_dir: Optional[str] = None,
+                 obs: Optional[Observability] = None) -> AccuracyResult:
     """Train both models from scratch and report held-out accuracy."""
     if lens is None:
         platform = get_platform(platform_name)
         lens = PowerLens(platform, PowerLensConfig(
             n_networks=n_networks, seed=seed, n_jobs=n_jobs,
-            use_cache=use_cache, cache_dir=cache_dir))
+            use_cache=use_cache, cache_dir=cache_dir), obs=obs)
         summary = lens.fit()
     else:
         summary = lens.training_summary

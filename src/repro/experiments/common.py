@@ -29,6 +29,7 @@ from repro.hw import (
 )
 from repro.models import build_model
 from repro.models.zoo import PAPER_MODELS
+from repro.obs import NULL_OBS, Observability
 
 #: Default synthetic corpus size for experiment-grade fits.  The paper
 #: uses 8 000 networks; 400 keeps the full suite in CI-scale time while
@@ -46,6 +47,7 @@ class ExperimentContext:
     platform: PlatformSpec
     lens: PowerLens
     graphs: Dict[str, Graph] = field(default_factory=dict)
+    obs: Observability = field(default_factory=lambda: NULL_OBS)
 
     def graph(self, model_name: str) -> Graph:
         if model_name not in self.graphs:
@@ -60,7 +62,7 @@ class ExperimentContext:
         return InferenceSimulator(
             self.platform, sample_period=0.02, noise_std=noise_std,
             seed=seed, keep_trace=keep_trace, keep_samples=keep_samples,
-            faults=faults)
+            faults=faults, obs=self.obs)
 
     def baseline_governors(self) -> List[Governor]:
         """The paper's three baselines, in table order."""
@@ -79,24 +81,32 @@ def get_context(platform_name: str,
                 n_networks: int = DEFAULT_N_NETWORKS,
                 seed: int = 0, n_jobs: int = 1,
                 use_cache: bool = True,
-                cache_dir: Optional[str] = None) -> ExperimentContext:
+                cache_dir: Optional[str] = None,
+                obs: Optional[Observability] = None) -> ExperimentContext:
     """Memoized fitted context for a platform preset name.
 
     ``n_jobs``/``use_cache``/``cache_dir`` steer dataset generation only
     — the generated corpus (and therefore the fitted models) is
     identical for any value, so they are not part of the memoization
-    key.
+    key.  ``obs`` (observe-only) is not part of the key either: a fresh
+    context fits under it (spans cover generation and training); a
+    session-cached context is re-bound to it, so runtime spans and
+    counters still land even though its fit-time spans are gone.
     """
     key = (platform_name, n_networks, seed)
     if key not in _CONTEXT_CACHE:
         platform = get_platform(platform_name)
         lens = PowerLens(platform, PowerLensConfig(
             n_networks=n_networks, seed=seed, n_jobs=n_jobs,
-            use_cache=use_cache, cache_dir=cache_dir))
+            use_cache=use_cache, cache_dir=cache_dir), obs=obs)
         lens.fit()
         _CONTEXT_CACHE[key] = ExperimentContext(platform=platform,
-                                                lens=lens)
-    return _CONTEXT_CACHE[key]
+                                                lens=lens, obs=lens.obs)
+    ctx = _CONTEXT_CACHE[key]
+    if obs is not None and ctx.obs is not obs:
+        ctx.obs = obs
+        ctx.lens.obs = obs
+    return ctx
 
 
 def paper_models() -> List[str]:

@@ -117,6 +117,27 @@ def to_records(result) -> List[dict]:
     raise TypeError(f"no exporter for {type(result).__name__}")
 
 
+def _canonical_value(value):
+    """Round-trip floats through a 10-significant-digit rendering so the
+    JSON text of one record is byte-stable across platforms and numpy
+    versions while ignoring sub-noise last-bit drift."""
+    if isinstance(value, float):
+        return float(f"{value:.10g}")
+    return value
+
+
+def canonical_records(result) -> List[dict]:
+    """:func:`to_records` with every float canonically rounded — the
+    form golden-regression fixtures are stored and compared in."""
+    return [{k: _canonical_value(v) for k, v in record.items()}
+            for record in to_records(result)]
+
+
+def canonical_json(result) -> str:
+    """Byte-stable JSON for golden-regression fixtures."""
+    return json.dumps(canonical_records(result), indent=1, sort_keys=True)
+
+
 def write_json(result, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(to_records(result), indent=1))
 

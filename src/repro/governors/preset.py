@@ -39,6 +39,7 @@ from repro.hw.dvfs import SwitchResult
 from repro.hw.faults import OUTCOME_CAPPED
 from repro.hw.perf import OpWork
 from repro.hw.platform import PlatformSpec
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 
 
 @dataclass(frozen=True)
@@ -198,7 +199,8 @@ class PresetGovernor(Governor):
                  resilient: bool = True,
                  max_retries: int = 2,
                  max_block_failures: int = 3,
-                 safe_level: Optional[int] = None) -> None:
+                 safe_level: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         super().__init__()
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -213,6 +215,9 @@ class PresetGovernor(Governor):
             p.graph_name: p for p in plans
         }
         self._fallback = fallback_level
+        # Observe-only mirror of RuntimeHealth: counters survive reset()
+        # (metrics are cumulative across jobs; health is per-run).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.health = RuntimeHealth()
         self._installed: Dict[str, FrequencyPlan] = {}
         self._active: Optional[FrequencyPlan] = None
@@ -225,6 +230,11 @@ class PresetGovernor(Governor):
         self._expect_level: Optional[int] = None
         self._current_op: Optional[int] = None
         self._believed: Optional[int] = None
+
+    def _count(self, event: str, n: int = 1) -> None:
+        """Mirror one RuntimeHealth increment into the metrics registry
+        (no-op on the default disabled registry)."""
+        self.metrics.counter(f"powerlens_runtime_{event}_total").inc(n)
 
     def plan_for(self, graph_name: str) -> Optional[FrequencyPlan]:
         return self._plans.get(graph_name)
@@ -242,10 +252,12 @@ class PresetGovernor(Governor):
         assert self.platform is not None
         clamped = plan.clamped(self.platform)
         if clamped is not plan:
-            self.health.levels_clamped += sum(
+            n_clamped = sum(
                 1 for a, b in zip(plan.steps, clamped.steps)
                 if a.level != b.level
             )
+            self.health.levels_clamped += n_clamped
+            self._count("levels_clamped", n_clamped)
         self._installed[plan.graph_name] = clamped
 
     def reset(self, platform: PlatformSpec) -> None:
@@ -289,12 +301,14 @@ class PresetGovernor(Governor):
             if name not in self._rejected_names:
                 self._rejected_names.add(name)
                 self.health.plans_rejected += 1
+                self._count("plans_rejected")
             return None
         if plan.graph_fingerprint is not None and \
                 plan.graph_fingerprint != job.graph.fingerprint():
             if name not in self._rejected_names:
                 self._rejected_names.add(name)
                 self.health.plans_rejected += 1
+                self._count("plans_rejected")
             return None
         return plan
 
@@ -367,15 +381,18 @@ class PresetGovernor(Governor):
             # the next decision point re-asserts the target (a free noop
             # while capped) and recovers the moment the cap lifts.
             self.health.caps_honored += 1
+            self._count("caps_honored")
             self._expect_level = None
             return None
         if self._retries_left > 0:
             self._retries_left -= 1
             self.health.switch_retries += 1
+            self._count("switch_retries")
             return expected
         # Retry budget exhausted at this decision point.
         self._expect_level = None
         self.health.switch_failures += 1
+        self._count("switch_failures")
         return self._give_up(result.achieved_level)
 
     def _give_up(self, achieved: int) -> Optional[int]:
@@ -388,6 +405,7 @@ class PresetGovernor(Governor):
                 self._current_op not in self._pinned:
             self._pinned[self._current_op] = achieved
         self.health.blocks_pinned += 1
+        self._count("blocks_pinned")
         self._block_failures += 1
         if self._block_failures >= self.max_block_failures:
             # Plan-level failure: abandon the plan, finish the job at a
@@ -396,6 +414,7 @@ class PresetGovernor(Governor):
             self._pending = {}
             self._pinned = {}
             self.health.plan_fallbacks += 1
+            self._count("plan_fallbacks")
             safe = (self._safe_override
                     if self._safe_override is not None
                     else self._active.safe_level())

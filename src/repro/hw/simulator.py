@@ -52,8 +52,11 @@ from repro.hw.telemetry import (
     TelemetrySample,
     Trace,
     TraceSegment,
+    record_sample_metrics,
     report_from_trace,
 )
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import SWITCH_LATENCY_BUCKETS
 
 #: Hard bound on actuation attempts per decision point — a backstop so a
 #: governor retry loop can never hang the simulator even at 100 % fault
@@ -155,7 +158,8 @@ class InferenceSimulator:
                  noise_std: float = 0.0, seed: int = 0,
                  keep_trace: bool = True, keep_samples: bool = True,
                  thermal: Optional[ThermalConfig] = None,
-                 faults: Optional[FaultProfile] = None) -> None:
+                 faults: Optional[FaultProfile] = None,
+                 obs: Optional[Observability] = None) -> None:
         if sample_period <= 0:
             raise ValueError("sample_period must be positive")
         self.platform = platform
@@ -168,6 +172,18 @@ class InferenceSimulator:
         self.latency = LatencyModel(platform)
         self.power = PowerModel(platform)
         self._rng = random.Random(seed)
+        # Observe-only.  Metric handles are resolved once here (not per
+        # actuation/window) so the enabled path stays cheap and the
+        # disabled path is a shared no-op object.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._m_switch_stall = self.obs.metrics.histogram(
+            "powerlens_dvfs_switch_stall_seconds",
+            help="GPU stall charged per successful DVFS actuation",
+            buckets=SWITCH_LATENCY_BUCKETS)
+        self._m_switches = self.obs.metrics.counter(
+            "powerlens_dvfs_switches_total")
+        self._m_dropped_cmds = self.obs.metrics.counter(
+            "powerlens_dvfs_commands_dropped_total")
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[InferenceJob], governor) -> SimulationResult:
@@ -338,6 +354,7 @@ class InferenceSimulator:
         delivered: Optional[TelemetrySample] = sample
         if state.injector is not None:
             delivered = state.injector.deliver_sample(sample)
+        record_sample_metrics(self.obs.metrics, delivered)
         if delivered is not None:
             if self.keep_samples:
                 samples.append(delivered)
@@ -399,6 +416,7 @@ class InferenceSimulator:
         switch = result.switch
         if switch is None:
             if result.outcome == OUTCOME_DROPPED:
+                self._m_dropped_cmds.inc()
                 # The lost command still occupied the host.
                 state.cpu_busy_until = max(
                     state.cpu_busy_until,
@@ -406,6 +424,8 @@ class InferenceSimulator:
                 )
             return False
         stall = self.platform.dvfs_stall_s + result.extra_stall_s
+        self._m_switches.inc()
+        self._m_switch_stall.observe(stall)
         if stall > 0:
             gpu_p = self.power.gpu_idle(state.dvfs.freq)
             cpu_p = self.power.cpu_busy(self._cpu_freq(state))

@@ -20,6 +20,26 @@ KIND_CPU = "cpu"
 KIND_IDLE = "idle"
 KIND_SWITCH = "switch"
 
+#: Metric names for telemetry-window accounting (simulator hot path).
+METRIC_SAMPLES = "powerlens_telemetry_samples_total"
+METRIC_SAMPLES_DROPPED = "powerlens_telemetry_samples_dropped_total"
+METRIC_SAMPLES_FAULTY = "powerlens_telemetry_samples_faulty_total"
+
+
+def record_sample_metrics(metrics,
+                          delivered: Optional["TelemetrySample"]) -> None:
+    """Count one telemetry window against ``metrics`` (a
+    :class:`repro.obs.metrics.MetricsRegistry`): ``None`` means the
+    window was dropped before the governor saw it; delivered windows
+    count once, plus once more when flagged ``faulty``.  No-op on the
+    disabled registry."""
+    if delivered is None:
+        metrics.counter(METRIC_SAMPLES_DROPPED).inc()
+        return
+    metrics.counter(METRIC_SAMPLES).inc()
+    if delivered.faulty:
+        metrics.counter(METRIC_SAMPLES_FAULTY).inc()
+
 
 @dataclass(frozen=True)
 class TraceSegment:

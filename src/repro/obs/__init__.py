@@ -1,0 +1,91 @@
+"""Observability: span tracing and metrics for pipeline and runtime.
+
+The subsystem has three parts:
+
+``tracing``
+    :class:`Tracer` — nested wall-clock spans with per-span attributes,
+    a bounded in-memory buffer, per-name aggregates and JSONL export.
+``metrics``
+    :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+    histograms with worker-merge support, Prometheus text exposition
+    and a JSON snapshot format.
+``replay``
+    Trace-file parsing, span-tree reconstruction and the summary
+    renderer behind ``powerlens trace <file>``.
+
+:class:`Observability` bundles one tracer and one registry so a single
+handle threads through the stack (``PowerLens``, ``DatasetGenerator``,
+``DatasetCache``, ``PresetGovernor``, ``InferenceSimulator``, the CLI).
+The disabled bundle :data:`NULL_OBS` is the default everywhere: no-op,
+allocation-free on the hot paths, and guaranteed not to perturb any
+instrumented computation (``tests/test_obs_equivalence.py`` pins
+``fit()`` outputs and governor decisions byte-identical with
+observability on and off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    SWITCH_LATENCY_BUCKETS,
+    parse_prometheus_text,
+)
+from repro.obs.replay import (
+    SpanNode,
+    TraceFile,
+    read_trace,
+    span_tree,
+    summarize_trace,
+)
+from repro.obs.tracing import (
+    DEFAULT_MAX_SPANS,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "parse_prometheus_text", "DEFAULT_BUCKETS", "SWITCH_LATENCY_BUCKETS",
+    "NULL_METRICS", "Span", "Tracer", "NULL_TRACER", "DEFAULT_MAX_SPANS",
+    "Observability", "NULL_OBS", "observability",
+    "SpanNode", "TraceFile", "read_trace", "span_tree",
+    "summarize_trace",
+]
+
+
+@dataclass
+class Observability:
+    """One tracer + one metrics registry, threaded as a unit."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def enabled_bundle(cls, max_spans: int = DEFAULT_MAX_SPANS
+                       ) -> "Observability":
+        """Fresh fully-enabled bundle (what ``--trace`` builds)."""
+        return cls(tracer=Tracer(max_spans=max_spans),
+                   metrics=MetricsRegistry())
+
+
+#: Shared disabled bundle — the default wherever ``obs`` is accepted.
+#: Both members are inert singletons; never mutates.
+NULL_OBS = Observability(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+
+def observability(obs: Optional[Observability]) -> Observability:
+    """Normalize an optional ``obs`` argument to a concrete bundle."""
+    return obs if obs is not None else NULL_OBS

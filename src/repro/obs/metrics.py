@@ -1,0 +1,388 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Design goals, in order:
+
+* **zero cost when disabled** — a disabled registry hands out shared
+  no-op metric objects, so call sites unconditionally ``inc()`` /
+  ``observe()`` and the production path stays byte-identical (pinned by
+  ``tests/test_obs_equivalence.py``);
+* **mergeable** — :meth:`MetricsRegistry.merge` folds another
+  registry's state in, so per-worker registries (e.g. one per
+  ``ProcessPoolExecutor`` worker) can be combined into the coordinator's
+  view.  Merge is associative and commutative: counters and histogram
+  bucket counts add (exact integer arithmetic), histogram sums add,
+  gauges take the maximum (a deterministic, order-free reduction —
+  "high-water mark" semantics).  The hypothesis suite in
+  ``tests/test_obs_metrics.py`` pins these laws and the
+  N-shards-equal-serial property, mirroring the ``n_jobs`` byte-identity
+  tests of the dataset generator;
+* **two interchangeable exports** — a Prometheus-style text exposition
+  (counters as ``*_total``, histograms as cumulative ``_bucket{le=...}``
+  series) and a JSON snapshot; both round-trip losslessly through
+  :func:`parse_prometheus_text` / :meth:`MetricsRegistry.from_dict`.
+
+Histograms use *fixed* bucket boundaries chosen at creation (upper
+bounds, seconds-flavored default) so shard merges are well-defined;
+merging histograms with different boundaries is an error, not a guess.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_METRICS", "DEFAULT_BUCKETS", "SWITCH_LATENCY_BUCKETS",
+    "parse_prometheus_text",
+]
+
+#: Default histogram boundaries (seconds): latency-flavored log ladder.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Boundaries sized for DVFS switch stalls (tens of µs to tens of ms).
+SWITCH_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+)
+
+
+class Counter:
+    """Monotonically increasing integer count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += int(n)
+
+    def _merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def _load(self, payload: Dict[str, Any]) -> None:
+        self.value = int(payload["value"])
+
+
+class Gauge:
+    """Point-in-time value.  Merges by maximum (high-water mark), the
+    only order-free reduction that keeps merge commutative."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value", "_set")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._set = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._set = True
+
+    def _merge(self, other: "Gauge") -> None:
+        if other._set and (not self._set or other.value > self.value):
+            self.value = other.value
+            self._set = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value,
+                "set": self._set}
+
+    def _load(self, payload: Dict[str, Any]) -> None:
+        self.value = float(payload["value"])
+        self._set = bool(payload.get("set", True))
+
+
+class Histogram:
+    """Fixed-boundary histogram (Prometheus ``le`` semantics: an
+    observation lands in the first bucket whose upper bound is >= it;
+    values above every bound land in the implicit +Inf bucket)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "counts", "sum")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts in exposition order (ending at the
+        +Inf bucket, which equals :attr:`count`)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def _merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                f"differ ({self.bounds} vs {other.bounds})")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help,
+                "bounds": list(self.bounds), "counts": list(self.counts),
+                "sum": self.sum}
+
+    def _load(self, payload: Dict[str, Any]) -> None:
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: {len(counts)} counts for "
+                f"{len(self.bounds)} bounds")
+        self.counts = counts
+        self.sum = float(payload["sum"])
+
+
+class _NullMetric:
+    """Shared do-nothing metric a disabled registry hands out."""
+
+    __slots__ = ()
+    value = 0
+    sum = 0.0
+    count = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named metrics, create-on-first-use.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    when the name is known (kind mismatches raise), so call sites can
+    resolve metrics eagerly or lazily without coordination.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # create / fetch
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, help: str, **kwargs):
+        if not self.enabled:
+            return _NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s state into this registry (in place); returns
+        ``self``.  Metrics unknown here are deep-copied in; same-named
+        metrics must agree on kind (and histogram bounds)."""
+        if not self.enabled:
+            raise ValueError("cannot merge into a disabled registry")
+        for name, theirs in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(name, theirs.help,
+                                     buckets=theirs.bounds)
+                else:
+                    mine = type(theirs)(name, theirs.help)
+                self._metrics[name] = mine
+            elif type(mine) is not type(theirs):
+                raise ValueError(
+                    f"metric {name!r}: kind mismatch on merge "
+                    f"({mine.kind} vs {theirs.kind})")
+            mine._merge(theirs)
+        return self
+
+    # ------------------------------------------------------------------
+    # export / import
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-serializable snapshot."""
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRegistry":
+        registry = cls(enabled=True)
+        for name, spec in payload.items():
+            kind = spec.get("kind")
+            if kind not in _KINDS:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+            if kind == "histogram":
+                metric = Histogram(name, spec.get("help", ""),
+                                   buckets=spec["bounds"])
+            else:
+                metric = _KINDS[kind](name, spec.get("help", ""))
+            metric._load(spec)
+            registry._metrics[name] = metric
+        return registry
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        return cls.from_dict(json.loads(text))
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition (version 0.0.4 style)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Counter):
+                lines.append(f"{name} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{name} {_fmt_float(metric.value)}")
+            else:
+                cumulative = metric.cumulative()
+                for bound, cum in zip(metric.bounds, cumulative):
+                    lines.append(
+                        f'{name}_bucket{{le="{_fmt_float(bound)}"}} {cum}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{name}_sum {_fmt_float(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_float(value: float) -> str:
+    """Shortest exact float rendering (repr round-trips in Python 3)."""
+    return repr(float(value))
+
+
+def parse_prometheus_text(text: str) -> MetricsRegistry:
+    """Inverse of :meth:`MetricsRegistry.to_prometheus_text` for the
+    subset this module emits — enough to round-trip our own exposition
+    (used by the trace replay command and the round-trip tests)."""
+    registry = MetricsRegistry(enabled=True)
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    hist_rows: Dict[str, Dict[str, Any]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if key.endswith('"}') and "_bucket{le=" in key:
+            base = key[:key.index("_bucket{le=")]
+            bound = key[key.index('le="') + 4:-2]
+            row = hist_rows.setdefault(base, {"buckets": []})
+            row["buckets"].append((bound, int(value)))
+        elif key.endswith("_sum") and kinds.get(key[:-4]) == "histogram":
+            hist_rows.setdefault(key[:-4], {"buckets": []})["sum"] = \
+                float(value)
+        elif key.endswith("_count") and \
+                kinds.get(key[:-6]) == "histogram":
+            hist_rows.setdefault(key[:-6], {"buckets": []})["count"] = \
+                int(value)
+        elif kinds.get(key) == "counter":
+            counter = registry.counter(key, helps.get(key, ""))
+            counter.value = int(value)
+        elif kinds.get(key) == "gauge":
+            gauge = registry.gauge(key, helps.get(key, ""))
+            gauge.set(float(value))
+        else:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+    for name, row in hist_rows.items():
+        bounds = [float(b) for b, _ in row["buckets"] if b != "+Inf"]
+        hist = registry.histogram(name, helps.get(name, ""),
+                                  buckets=bounds)
+        cumulative = [c for _, c in row["buckets"]]
+        counts, previous = [], 0
+        for cum in cumulative:
+            counts.append(cum - previous)
+            previous = cum
+        hist.counts = counts
+        hist.sum = row.get("sum", 0.0)
+    return registry
+
+
+#: Shared disabled registry — safe module singleton (hands out the
+#: stateless null metric, never accumulates).
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -206,6 +206,31 @@ class TestDatasetCache:
         assert not cache.has(key)
         assert cache.load(key) is None
 
+    def test_pre_stage_seconds_manifest_loads(self, tmp_path):
+        """Regression: manifests written before stage timings were
+        recorded lack ``stats.stage_seconds`` (or the whole ``stats``
+        block); loading such an entry must succeed, not KeyError."""
+        cache = DatasetCache(tmp_path)
+        key = _key()
+        a, b, stats = _sample_entry()
+        manifest = cache.store(key, a, b, stats)
+        meta = json.loads(manifest.read_text())
+        del meta["stats"]["stage_seconds"]
+        manifest.write_text(json.dumps(meta))
+        got = cache.load(key)
+        assert got is not None
+        assert got[2].cache_hit is True
+        assert got[2].stage_seconds == {}
+
+        meta["stats"] = None
+        manifest.write_text(json.dumps(meta))
+        got = cache.load(key)
+        assert got is not None
+        # Counts fall back to what the arrays themselves say.
+        assert got[2].n_networks == len(a)
+        assert got[2].n_blocks == len(b)
+        assert got[2].stage_seconds == {}
+
     def test_corrupt_manifest_is_a_miss(self, tmp_path):
         cache = DatasetCache(tmp_path)
         key = _key()

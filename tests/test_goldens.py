@@ -1,0 +1,85 @@
+"""Golden-regression tests: the canonical JSON exports of the headline
+experiments (Table 1, Table 2, model accuracy) at a small fixed seed are
+pinned byte-for-byte under ``tests/goldens/``.
+
+Any change to the dataset generator, the labeling sweep, the prediction
+models, the clustering post-processing, the governors or the simulator
+that shifts a reported number past the canonical 10-significant-digit
+rounding shows up here as a diff against the fixture — deliberate
+changes regenerate the fixtures with::
+
+    pytest tests/test_goldens.py --update-goldens
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import PowerLens, PowerLensConfig
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.common import ExperimentContext
+from repro.experiments.export import canonical_json, canonical_records
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.hw import jetson_tx2
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Small-corpus fit shared by every golden (matches the
+#: tests/test_experiments.py context so the session pays for it once).
+_N_NETWORKS, _SEED = 20, 3
+_MODELS = ["alexnet", "resnet18"]
+
+
+@pytest.fixture(scope="module")
+def golden_ctx():
+    platform = jetson_tx2()
+    lens = PowerLens(platform, PowerLensConfig(
+        n_networks=_N_NETWORKS, seed=_SEED))
+    lens.fit()
+    return ExperimentContext(platform=platform, lens=lens)
+
+
+def _check_golden(name: str, result, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    text = canonical_json(result) + "\n"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"golden fixture {path} missing — generate it with "
+        f"pytest tests/test_goldens.py --update-goldens")
+    assert text == path.read_text(), (
+        f"{name} output drifted from its golden fixture; if the change "
+        f"is intended, rerun with --update-goldens and commit the diff")
+
+
+def test_canonical_records_are_byte_stable(golden_ctx):
+    """The canonical form itself must be idempotent: rounding twice
+    changes nothing, and the JSON text is reproducible in-process."""
+    result = run_table1("tx2", models=["alexnet"], n_runs=1,
+                        context=golden_ctx)
+    once = canonical_json(result)
+    assert canonical_json(result) == once
+    for record in canonical_records(result):
+        for value in record.values():
+            if isinstance(value, float):
+                assert value == float(f"{value:.10g}")
+
+
+def test_table1_golden(golden_ctx, update_goldens):
+    result = run_table1("tx2", models=_MODELS, n_runs=2,
+                        context=golden_ctx)
+    _check_golden("table1", result, update_goldens)
+
+
+def test_table2_golden(golden_ctx, update_goldens):
+    result = run_table2("tx2", models=_MODELS, n_runs=2,
+                        context=golden_ctx)
+    _check_golden("table2", result, update_goldens)
+
+
+def test_accuracy_golden(golden_ctx, update_goldens):
+    result = run_accuracy(lens=golden_ctx.lens)
+    _check_golden("accuracy", result, update_goldens)

@@ -57,9 +57,11 @@ def test_context_cache_reuses_fit(monkeypatch):
     calls = []
 
     class FakeLens:
-        def __init__(self, platform, config):
+        def __init__(self, platform, config, obs=None):
+            from repro.obs import NULL_OBS
             self.platform = platform
             self.config = config
+            self.obs = obs if obs is not None else NULL_OBS
 
         def fit(self):
             calls.append(1)
