@@ -23,6 +23,7 @@ from repro.analysis.curves import (
 from repro.analysis.pingpong import (
     LagEvent,
     PingPongReport,
+    ReversalTracker,
     analyze_trace,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "render_curve",
     "LagEvent",
     "PingPongReport",
+    "ReversalTracker",
     "analyze_trace",
 ]

@@ -8,10 +8,46 @@ time goes level-by-level.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List
+from typing import Deque, List
 
 from repro.hw.telemetry import KIND_GPU_OP, Trace
+
+
+class ReversalTracker:
+    """Online direction-reversal counter over a sliding time window.
+
+    The offline :func:`analyze_trace` quantifies ping-pong after the
+    fact; this is the same reversal definition (up-then-down or
+    down-then-up in the switch sequence) maintained incrementally so
+    the anomaly detector (:mod:`repro.obs.anomaly`) can flag an
+    oscillation while the run is still going.
+    """
+
+    def __init__(self, window_s: float = 0.5) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self._reversals: Deque[float] = deque()
+        self._prev_dir = 0
+
+    def reset(self) -> None:
+        self._reversals.clear()
+        self._prev_dir = 0
+
+    def push(self, t: float, from_level: int, to_level: int) -> int:
+        """Record one actuated switch; returns the number of direction
+        reversals inside the trailing window ending at ``t``."""
+        direction = (to_level > from_level) - (to_level < from_level)
+        if direction != 0:
+            if self._prev_dir != 0 and direction != self._prev_dir:
+                self._reversals.append(t)
+            self._prev_dir = direction
+        horizon = t - self.window_s
+        while self._reversals and self._reversals[0] <= horizon:
+            self._reversals.popleft()
+        return len(self._reversals)
 
 
 @dataclass(frozen=True)

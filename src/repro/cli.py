@@ -11,6 +11,8 @@ figure of the paper can be regenerated from a shell::
     powerlens accuracy --networks 400
     powerlens analyze --model vgg19 --platform tx2
     powerlens robustness --platform tx2 --fault-profile representative
+    powerlens ledger --model resnet152 --batches 4
+    powerlens bench-diff BENCH_datagen.json BENCH_datagen.json
     powerlens models
 
 ``--fault-profile`` (robustness) takes ``none``, ``representative``
@@ -21,9 +23,15 @@ or an explicit ``key=value,...`` spec, e.g.
 
 Observability: every experiment command accepts ``--trace out.jsonl``
 (JSONL span trace of the whole run, metrics snapshot appended) and
-``--metrics out.prom`` (Prometheus-style text exposition).  Both are
-observe-only — results are byte-identical with or without them.  A
-written trace is replayed with::
+``--metrics out.prom`` (Prometheus-style text exposition).  Two live
+sinks ride the same bundle: ``--serve PORT`` (or env
+``POWERLENS_EXPORTER_PORT``) exposes ``/metrics``, ``/metrics.json``,
+``/healthz`` and an SSE ``/spans`` stream over loopback HTTP while the
+command runs, and ``--flight-recorder DIR`` (or env
+``POWERLENS_FLIGHT_RECORDER``) keeps a bounded ring of periodic
+snapshot files for post-mortems.  All sinks are observe-only —
+results are byte-identical with or without them.  A written trace is
+replayed with::
 
     powerlens trace out.jsonl
 """
@@ -48,6 +56,15 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write run metrics as Prometheus-style "
                              "text exposition")
+    parser.add_argument("--serve", metavar="PORT", type=int, default=None,
+                        help="serve live metrics on 127.0.0.1:PORT while "
+                             "the command runs (/metrics, /metrics.json, "
+                             "/healthz, SSE /spans; 0 = ephemeral port; "
+                             "env POWERLENS_EXPORTER_PORT)")
+    parser.add_argument("--flight-recorder", metavar="DIR", default=None,
+                        help="write periodic observability snapshots "
+                             "into DIR as a bounded ring of JSON files "
+                             "(env POWERLENS_FLIGHT_RECORDER)")
 
 
 def _add_networks(parser: argparse.ArgumentParser) -> None:
@@ -135,11 +152,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-profile multipliers to sweep "
                         "(default: 0 0.5 1 2)")
 
+    p = sub.add_parser("ledger",
+                       help="per-block energy attribution for one "
+                            "simulated model run, reconciled against "
+                            "the simulator's own totals")
+    _add_platform(p)
+    _add_networks(p)
+    _add_obs(p)
+    p.add_argument("--model", default="resnet152")
+    p.add_argument("--batches", type=int, default=4,
+                   help="inference batches to simulate (default: 4)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="batch size (default: the pipeline config's)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="simulator noise seed (default: 0)")
+    p.add_argument("--fault-profile", default="none",
+                   help="'none' or a key=value,... fault spec to "
+                        "inject during the attributed run")
+    p.add_argument("--json", action="store_true",
+                   help="emit the ledger as JSON instead of a table")
+
     p = sub.add_parser("trace", help="summarize a JSONL span trace "
                                      "written with --trace")
     p.add_argument("file", help="trace file (JSON Lines)")
     p.add_argument("--depth", type=int, default=4,
                    help="span-tree depth to render (default: 4)")
+
+    p = sub.add_parser("bench-diff",
+                       help="compare two BENCH_*.json benchmark files "
+                            "with per-key tolerances")
+    p.add_argument("old", help="baseline benchmark JSON")
+    p.add_argument("new", help="candidate benchmark JSON")
+    p.add_argument("--rel-tol", type=float, default=0.5,
+                   help="default relative tolerance for numeric keys "
+                        "(default: 0.5)")
+    p.add_argument("--tolerance", action="append", default=[],
+                   metavar="KEY=REL",
+                   help="per-key tolerance override; KEY is a leaf "
+                        "name or dotted path (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat structural warnings (key only on one "
+                        "side) as failures")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every compared leaf, not just "
+                        "warnings/failures")
 
     sub.add_parser("models", help="list available model names")
     return parser
@@ -159,6 +215,74 @@ def _export_obs(obs, trace_path: Optional[str],
         print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import read_trace, summarize_trace
+    try:
+        trace = read_trace(args.file)
+    except OSError as exc:
+        print(f"powerlens trace: cannot read {args.file}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 1
+    print(summarize_trace(trace, max_depth=args.depth))
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.obs.benchdiff import (diff_benchmarks, format_diff,
+                                     load_bench, parse_tolerance_specs)
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+        tolerances = parse_tolerance_specs(args.tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"powerlens bench-diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_benchmarks(old, new, rel_tol=args.rel_tol,
+                           tolerances=tolerances, strict=args.strict)
+    print(format_diff(diff, verbose=args.verbose))
+    return 0 if diff.ok else 1
+
+
+def _sink_settings(args) -> tuple:
+    """Resolve live-sink settings: CLI flags first, env second."""
+    import os
+    from repro.obs.exporter import ENV_EXPORTER_PORT, ENV_FLIGHT_RECORDER
+    serve = getattr(args, "serve", None)
+    if serve is None:
+        raw = os.environ.get(ENV_EXPORTER_PORT, "").strip()
+        if raw:
+            try:
+                serve = int(raw)
+            except ValueError:
+                print(f"warning: ignoring non-integer "
+                      f"{ENV_EXPORTER_PORT}={raw!r}", file=sys.stderr)
+    flight = getattr(args, "flight_recorder", None)
+    if not flight:
+        flight = os.environ.get(ENV_FLIGHT_RECORDER, "").strip() or None
+    return serve, flight
+
+
+def _start_sinks(obs, serve_port: Optional[int],
+                 flight_dir: Optional[str]) -> list:
+    """Start the opt-in live sinks; returns them for try/finally stop."""
+    sinks = []
+    if serve_port is not None:
+        from repro.obs.exporter import MetricsExporter
+        exporter = MetricsExporter(obs, port=serve_port)
+        exporter.start()
+        print(f"metrics exporter listening on {exporter.url}",
+              file=sys.stderr)
+        sinks.append(exporter)
+    if flight_dir:
+        from repro.obs.exporter import FlightRecorder
+        recorder = FlightRecorder(obs, flight_dir)
+        recorder.start()
+        print(f"flight recorder writing to {flight_dir}",
+              file=sys.stderr)
+        sinks.append(recorder)
+    return sinks
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -168,20 +292,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "trace":
-        from repro.obs import read_trace, summarize_trace
-        print(summarize_trace(read_trace(args.file),
-                              max_depth=args.depth))
-        return 0
+        return _cmd_trace(args)
+
+    if args.command == "bench-diff":
+        return _cmd_bench_diff(args)
 
     # Observe-only session bundle, built only when asked for — the
     # default path carries the shared no-op bundle through every layer.
+    # A live sink (--serve / --flight-recorder, or their env-var
+    # equivalents) needs an enabled bundle even without file outputs.
     trace_path: Optional[str] = getattr(args, "trace", None)
     metrics_path: Optional[str] = getattr(args, "metrics", None)
+    serve_port, flight_dir = _sink_settings(args)
     obs = None
-    if trace_path or metrics_path:
+    if trace_path or metrics_path or serve_port is not None or flight_dir:
         from repro.obs import Observability
         obs = Observability.enabled_bundle()
 
+    sinks = _start_sinks(obs, serve_port, flight_dir) if obs else []
+    try:
+        return _dispatch(args, obs, trace_path, metrics_path)
+    finally:
+        for sink in reversed(sinks):
+            sink.stop()
+
+
+def _dispatch(args, obs, trace_path: Optional[str],
+              metrics_path: Optional[str]) -> int:
     # Everything else needs a fitted context.  The CLI caches generated
     # datasets by default (the library default is off): repeated table /
     # figure regenerations share one corpus per configuration.
@@ -258,6 +395,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "analyze":
         plan = ctx.lens.analyze(ctx.graph(args.model))
         print(plan.summary())
+        _export_obs(obs, trace_path, metrics_path)
+        return 0
+    elif args.command == "ledger":
+        from repro.experiments.common import run_model_ledger
+        spec = args.fault_profile.strip().lower()
+        if spec in ("", "none"):
+            faults = None
+        else:
+            from repro.hw import FaultProfile
+            faults = FaultProfile.parse(args.fault_profile)
+        _, ledger = run_model_ledger(
+            ctx, args.model, n_batches=args.batches,
+            batch_size=args.batch_size, seed=args.seed, faults=faults)
+        if args.json:
+            import json
+            print(json.dumps(ledger.to_dict(), indent=2))
+        else:
+            print(ledger.format_table())
         _export_obs(obs, trace_path, metrics_path)
         return 0
     else:  # pragma: no cover - argparse guards this

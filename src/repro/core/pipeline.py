@@ -433,6 +433,25 @@ class PowerLens:
         return PresetGovernor(plans, name=name, resilient=resilient,
                               metrics=self.obs.metrics)
 
+    def ledger(self, result, graph: Graph,
+               plan: Optional[FrequencyPlan] = None):
+        """Attribute ``result`` (a kept-trace
+        :class:`~repro.hw.simulator.SimulationResult`) to power blocks.
+
+        Convenience wrapper over
+        :meth:`repro.obs.ledger.EnergyLedger.from_result` that wires in
+        this framework's evaluator and config so mispredicted blocks
+        (where the exhaustive sweep beats the preset level) are flagged.
+        ``plan=None`` attributes against a single whole-graph block.
+        """
+        # Local import: repro.obs must stay importable without core.
+        from repro.obs.ledger import EnergyLedger
+
+        return EnergyLedger.from_result(
+            result, plan=plan, graph=graph, evaluator=self.evaluator,
+            batch_size=self.config.batch_size,
+            latency_slack=self.config.latency_slack)
+
     # ------------------------------------------------------------------
     def overhead_report(self) -> OverheadReport:
         """Offline overhead in the Table-3 layout (means per network for

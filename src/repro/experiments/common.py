@@ -109,5 +109,30 @@ def get_context(platform_name: str,
     return ctx
 
 
+def run_model_ledger(ctx: ExperimentContext, model_name: str,
+                     n_batches: int = 4, batch_size: Optional[int] = None,
+                     seed: int = 0,
+                     faults: Optional[FaultProfile] = None):
+    """Run one model under the PowerLens preset governor with a kept
+    trace and return ``(result, EnergyLedger)``.
+
+    This is the ``powerlens ledger`` backend: attribution plus the
+    planned-vs-optimal misprediction sweep, on the memoized context's
+    fitted framework.
+    """
+    from repro.hw.simulator import InferenceJob
+
+    graph = ctx.graph(model_name)
+    governor = ctx.powerlens_governor([model_name])
+    sim = ctx.simulator(seed=seed, keep_trace=True, faults=faults)
+    bs = batch_size if batch_size is not None else ctx.lens.config.batch_size
+    result = sim.run(
+        [InferenceJob(graph=graph, batch_size=bs, n_batches=n_batches)],
+        governor)
+    ledger = ctx.lens.ledger(result, graph,
+                             plan=governor.plan_for(graph.name))
+    return result, ledger
+
+
 def paper_models() -> List[str]:
     return list(PAPER_MODELS)

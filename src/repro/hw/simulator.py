@@ -152,6 +152,12 @@ class InferenceSimulator:
         injector is built per :meth:`run`, so repeated runs see the same
         deterministic fault sequence.  ``None`` (or a zero profile)
         bypasses the fault layer completely.
+    anomaly:
+        Optional online detector (duck-typed to
+        :class:`repro.obs.anomaly.AnomalyDetector`): sees every
+        delivered telemetry window and every actuation result,
+        strictly observe-only — nothing it computes flows back into the
+        run (pinned by ``tests/test_obs_anomaly.py``).
     """
 
     def __init__(self, platform: PlatformSpec, sample_period: float = 0.02,
@@ -159,7 +165,8 @@ class InferenceSimulator:
                  keep_trace: bool = True, keep_samples: bool = True,
                  thermal: Optional[ThermalConfig] = None,
                  faults: Optional[FaultProfile] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 anomaly: Optional[object] = None) -> None:
         if sample_period <= 0:
             raise ValueError("sample_period must be positive")
         self.platform = platform
@@ -172,6 +179,7 @@ class InferenceSimulator:
         self.latency = LatencyModel(platform)
         self.power = PowerModel(platform)
         self._rng = random.Random(seed)
+        self.anomaly = anomaly
         # Observe-only.  Metric handles are resolved once here (not per
         # actuation/window) so the enabled path stays cheap and the
         # disabled path is a shared no-op object.
@@ -191,6 +199,8 @@ class InferenceSimulator:
         platform = self.platform
         self._governor = governor
         governor.reset(platform)
+        if self.anomaly is not None:
+            self.anomaly.reset(platform)
         dvfs = DVFSController(platform,
                               level=governor.initial_gpu_level())
         cpu_policy = getattr(governor, "cpu_policy", "ondemand")
@@ -290,7 +300,7 @@ class InferenceSimulator:
                 self._emit(state, dt, KIND_GPU_OP, gpu_p, cpu_p,
                            timing.compute_utilization,
                            timing.memory_utilization,
-                           label=work.name)
+                           label=work.name, op_index=op_idx)
                 remaining -= dt / duration
                 changed = self._maybe_sample(state, governor, samples)
                 if changed:
@@ -303,7 +313,7 @@ class InferenceSimulator:
     # ------------------------------------------------------------------
     def _emit(self, state: "_RunState", dt: float, kind: str,
               gpu_p: float, cpu_p: float, cu: float, mu: float,
-              label: str = "") -> None:
+              label: str = "", op_index: int = -1) -> None:
         if state.thermal is not None:
             # Temperature-dependent leakage rides on top of the nominal
             # static power; integrate the die forward over this segment.
@@ -323,6 +333,7 @@ class InferenceSimulator:
             compute_util=cu,
             memory_util=mu,
             label=label,
+            op_index=op_index,
         )
         state.trace.append(seg)
         state.window.add(seg)
@@ -355,6 +366,8 @@ class InferenceSimulator:
         if state.injector is not None:
             delivered = state.injector.deliver_sample(sample)
         record_sample_metrics(self.obs.metrics, delivered)
+        if self.anomaly is not None and delivered is not None:
+            self.anomaly.on_sample(delivered)
         if delivered is not None:
             if self.keep_samples:
                 samples.append(delivered)
@@ -414,6 +427,10 @@ class InferenceSimulator:
                                     injector=state.injector)
         state.last_switch_result = result
         switch = result.switch
+        if self.anomaly is not None:
+            stall = 0.0 if switch is None else \
+                self.platform.dvfs_stall_s + result.extra_stall_s
+            self.anomaly.on_switch_result(result, stall)
         if switch is None:
             if result.outcome == OUTCOME_DROPPED:
                 self._m_dropped_cmds.inc()

@@ -55,6 +55,11 @@ class TraceSegment:
     compute_util: float = 0.0
     memory_util: float = 0.0
     label: str = ""
+    #: Canonical compute-node index the segment executes (``gpu_op``
+    #: segments only; ``-1`` for CPU/idle/switch segments).  This is what
+    #: lets :class:`repro.obs.ledger.EnergyLedger` attribute energy to
+    #: power blocks exactly instead of guessing from labels.
+    op_index: int = -1
 
     @property
     def duration(self) -> float:

@@ -12,6 +12,18 @@ The subsystem has three parts:
 ``replay``
     Trace-file parsing, span-tree reconstruction and the summary
     renderer behind ``powerlens trace <file>``.
+``ledger``
+    :class:`EnergyLedger` — post-hoc energy/time attribution of a
+    simulated run to power blocks and operators, with an exact
+    reconciliation invariant and misprediction flagging
+    (``powerlens ledger``).
+``exporter``
+    :class:`MetricsExporter` / :class:`FlightRecorder` — opt-in live
+    HTTP endpoint (Prometheus text, JSON, SSE span stream) and a
+    bounded ring of periodic snapshot files.
+``anomaly``
+    :class:`AnomalyDetector` — online power-spike / ping-pong /
+    stall-budget detection over telemetry windows and switch results.
 
 :class:`Observability` bundles one tracer and one registry so a single
 handle threads through the stack (``PowerLens``, ``DatasetGenerator``,
@@ -59,7 +71,40 @@ __all__ = [
     "Observability", "NULL_OBS", "observability",
     "SpanNode", "TraceFile", "read_trace", "span_tree",
     "summarize_trace",
+    "EnergyLedger", "MetricsExporter", "FlightRecorder",
+    "Anomaly", "AnomalyConfig", "AnomalyDetector",
 ]
+
+#: Lazily-imported members (PEP 562).  ``ledger`` needs
+#: :mod:`repro.hw.telemetry` and ``anomaly`` needs
+#: :mod:`repro.analysis`, both of which transitively import the
+#: simulator — which imports *this* package.  Resolving them on first
+#: attribute access instead of at import time keeps ``repro.obs``
+#: import-order safe (and numpy-free for plain tracing/metrics use).
+_LAZY_SUBMODULE = {
+    "EnergyLedger": "ledger",
+    "BlockLedgerRow": "ledger",
+    "OpLedgerRow": "ledger",
+    "Reconciliation": "ledger",
+    "MetricsExporter": "exporter",
+    "FlightRecorder": "exporter",
+    "Anomaly": "anomaly",
+    "AnomalyConfig": "anomaly",
+    "AnomalyDetector": "anomaly",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY_SUBMODULE.get(name)
+    if submodule is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{submodule}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
 
 
 @dataclass

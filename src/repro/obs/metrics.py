@@ -146,6 +146,36 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        Prometheus ``histogram_quantile`` semantics: find the bucket
+        the target rank falls in and interpolate linearly inside it.
+        The first finite bucket's lower edge is 0 (our histograms hold
+        non-negative durations/sizes); ranks landing in the +Inf bucket
+        are clamped to the last finite bound — the estimate is then a
+        lower bound, exactly as in Prometheus.  Returns ``0.0`` for an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0
+        for i, c in enumerate(self.counts[:-1]):
+            prev = running
+            running += c
+            if running >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                if c == 0:  # rank == prev boundary exactly
+                    return lower
+                frac = (rank - prev) / c
+                return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+        return self.bounds[-1]
+
     def _merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError(

@@ -49,30 +49,81 @@ class TraceFile:
 
 
 def read_trace(path: Union[str, Path]) -> TraceFile:
-    """Parse a JSONL trace file (see module docstring)."""
+    """Parse a JSONL trace file (see module docstring).
+
+    Hardened against the ways real trace files break: undecodable
+    bytes (read with replacement characters), a torn final line from a
+    killed writer, two records interleaved onto one line by concurrent
+    appenders, spans with non-numeric timestamps, and metrics
+    snapshots that no longer load.  Every unusable fragment counts one
+    ``malformed_lines``; everything salvageable is kept.
+    """
     trace = TraceFile()
-    for line in Path(path).read_text().splitlines():
+    text = Path(path).read_text(errors="replace")
+    for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
+        for record in _decode_line(line, trace):
+            _ingest(record, trace)
+    return trace
+
+
+def _decode_line(line: str, trace: TraceFile) -> List[Dict[str, Any]]:
+    """All complete JSON objects on one line (torn writes produce
+    partial trailing objects; interleaved appends produce several)."""
+    try:
+        record = json.loads(line)
+        return [record] if isinstance(record, dict) else _bad(trace)
+    except json.JSONDecodeError:
+        pass
+    # Recovery scan: peel leading objects off the line one at a time.
+    decoder = json.JSONDecoder()
+    records: List[Dict[str, Any]] = []
+    pos, end = 0, len(line)
+    while pos < end:
         try:
-            record = json.loads(line)
+            record, pos = decoder.raw_decode(line, pos)
         except json.JSONDecodeError:
-            trace.malformed_lines += 1
-            continue
-        kind = record.get("type")
-        if kind == "meta":
-            trace.meta = record
-        elif kind == "metrics":
-            trace.metrics = MetricsRegistry.from_dict(record["metrics"])
-        elif kind == "span":
-            if any(k not in record for k in _REQUIRED_SPAN_KEYS):
-                trace.malformed_lines += 1
-                continue
-            trace.spans.append(record)
+            break
+        if isinstance(record, dict):
+            records.append(record)
         else:
             trace.malformed_lines += 1
-    return trace
+        while pos < end and line[pos] in " \t,":
+            pos += 1
+    if pos < end or not records:
+        # A torn trailing fragment (or nothing decodable at all).
+        trace.malformed_lines += 1
+    return records
+
+
+def _bad(trace: TraceFile) -> List[Dict[str, Any]]:
+    trace.malformed_lines += 1
+    return []
+
+
+def _ingest(record: Dict[str, Any], trace: TraceFile) -> None:
+    kind = record.get("type")
+    if kind == "meta":
+        trace.meta = record
+    elif kind == "metrics":
+        try:
+            trace.metrics = MetricsRegistry.from_dict(record["metrics"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            trace.malformed_lines += 1
+    elif kind == "span":
+        if any(k not in record for k in _REQUIRED_SPAN_KEYS):
+            trace.malformed_lines += 1
+            return
+        if not all(isinstance(record[k], (int, float))
+                   and not isinstance(record[k], bool)
+                   for k in ("t_start", "t_end")):
+            trace.malformed_lines += 1
+            return
+        trace.spans.append(record)
+    else:
+        trace.malformed_lines += 1
 
 
 def span_tree(spans: List[Dict[str, Any]]) -> List[SpanNode]:
@@ -161,6 +212,12 @@ def summarize_trace(trace: TraceFile, max_depth: int = 4,
             elif isinstance(metric, Gauge):
                 lines.append(f"  {name:<44s} {metric.value:g}")
             elif isinstance(metric, Histogram):
+                quantiles = ""
+                if metric.count:
+                    quantiles = (
+                        f" p50={metric.quantile(0.50):.6g} "
+                        f"p90={metric.quantile(0.90):.6g} "
+                        f"p99={metric.quantile(0.99):.6g}")
                 lines.append(f"  {name:<44s} count={metric.count} "
-                             f"sum={metric.sum:.6f}")
+                             f"sum={metric.sum:.6f}{quantiles}")
     return "\n".join(lines)

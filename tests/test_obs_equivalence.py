@@ -149,6 +149,70 @@ class TestRuntimeEquivalence:
                 f"powerlens_runtime_{event}_total").value
             assert counted == getattr(health, event), event
 
+    def test_all_seven_runtime_counters_mirror_health(self):
+        """Every RuntimeHealth field has a ``powerlens_runtime_*_total``
+        twin and they agree exactly after faulted runs — including the
+        clamp / stale-plan / external-cap paths the representative
+        fault profile never reaches."""
+        from repro.hw import CapWindow
+        from repro.hw.faults import FaultProfile
+        platform = jetson_tx2()
+        graph = build_small_cnn()
+        fields = ("switch_retries", "switch_failures", "blocks_pinned",
+                  "plans_rejected", "plan_fallbacks", "levels_clamped",
+                  "caps_honored")
+
+        def run(plan, faults=None):
+            obs = _obs()
+            governor = PresetGovernor([plan], metrics=obs.metrics)
+            sim = InferenceSimulator(platform, faults=faults)
+            sim.run([InferenceJob(graph=graph, n_batches=4)], governor)
+            return governor.health, obs.metrics
+
+        # Four blocks so three of them can exhaust their failure
+        # budgets (max_block_failures) and force the plan fallback.
+        plan = FrequencyPlan(graph_name="small_cnn",
+                             steps=[PlanStep(0, 2), PlanStep(2, 9),
+                                    PlanStep(4, 2), PlanStep(6, 9)])
+        clamped = FrequencyPlan(graph_name="small_cnn",
+                                steps=[PlanStep(0, 99), PlanStep(4, 9)])
+        stale = FrequencyPlan(graph_name="small_cnn",
+                              steps=[PlanStep(0, 2)],
+                              graph_fingerprint="not-this-graph")
+        scenarios = [
+            (plan, FaultProfile(switch_drop_rate=0.9, seed=11)),
+            (clamped, None),
+            (stale, None),
+            (plan, FaultProfile(cap_windows=(CapWindow(0.0, 60.0, 0),))),
+        ]
+        exercised = set()
+        for scenario_plan, faults in scenarios:
+            health, metrics = run(scenario_plan, faults)
+            for event in fields:
+                counted = metrics.counter(
+                    f"powerlens_runtime_{event}_total").value
+                assert counted == getattr(health, event), event
+                if counted:
+                    exercised.add(event)
+        assert exercised == set(fields)  # each counter actually fired
+
+    def test_run_identical_with_live_exporter_scraping(self):
+        """A live /metrics scrape mid-session must not perturb the
+        instrumented run."""
+        import urllib.request
+        from repro.obs.exporter import MetricsExporter
+        platform = jetson_tx2()
+        base = _run(platform, OndemandGovernor(), obs=None)
+        obs = _obs()
+        with MetricsExporter(obs) as exporter:
+            observed = _run(platform, OndemandGovernor(), obs=obs)
+            with urllib.request.urlopen(exporter.url + "metrics",
+                                        timeout=5.0) as resp:
+                assert resp.status == 200
+                assert b"powerlens_telemetry_samples_total" in \
+                    resp.read()
+        _assert_runs_identical(base, observed)
+
 
 class TestStageTimerEquivalence:
     def test_mirror_tracer_does_not_change_aggregates(self):

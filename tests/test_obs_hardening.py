@@ -1,0 +1,179 @@
+"""Replay-path hardening (torn / interleaved / invalid JSONL) and
+histogram quantile estimation, including their CLI surfaces."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.replay import read_trace, summarize_trace
+
+pytestmark = pytest.mark.obs
+
+
+def _span_line(span_id=1, name="work", t0=0.0, t1=1.0, parent=None):
+    return json.dumps({"type": "span", "span_id": span_id,
+                       "parent_id": parent, "name": name,
+                       "t_start": t0, "t_end": t1, "attrs": {}})
+
+
+class TestReadTraceHardening:
+    def test_torn_final_line_salvages_the_rest(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        whole = _span_line(1)
+        torn = _span_line(2)[:25]  # killed writer mid-record
+        path.write_text(whole + "\n" + torn)
+        trace = read_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.malformed_lines == 1
+
+    def test_interleaved_records_on_one_line_both_recovered(
+            self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_span_line(1) + _span_line(2, name="other")
+                        + "\n")
+        trace = read_trace(path)
+        assert [s["name"] for s in trace.spans] == ["work", "other"]
+        assert trace.malformed_lines == 0
+
+    def test_interleave_with_torn_tail_keeps_whole_records(
+            self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_span_line(1) + _span_line(2)[:10] + "\n")
+        trace = read_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.malformed_lines == 1
+
+    def test_non_numeric_and_bool_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bad_str = {"type": "span", "span_id": 1, "parent_id": None,
+                   "name": "a", "t_start": "0", "t_end": 1.0}
+        bad_bool = dict(bad_str, span_id=2, t_start=True, t_end=1.0)
+        path.write_text(json.dumps(bad_str) + "\n"
+                        + json.dumps(bad_bool) + "\n" + _span_line(3))
+        trace = read_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.malformed_lines == 2
+
+    def test_broken_metrics_snapshot_does_not_lose_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_span_line(1) + "\n"
+                        + json.dumps({"type": "metrics",
+                                      "metrics": "not-a-dict"}) + "\n")
+        trace = read_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.metrics is None
+        assert trace.malformed_lines == 1
+
+    def test_undecodable_bytes_do_not_raise(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(b"\xff\xfe garbage\n"
+                         + _span_line(1).encode() + b"\n")
+        trace = read_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.malformed_lines == 1
+
+    def test_empty_file_summarizes_cleanly(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        trace = read_trace(path)
+        assert trace.spans == []
+        assert trace.malformed_lines == 0
+        assert summarize_trace(trace) == "trace: 0 span(s)"
+
+    def test_round_trip_still_parses_clean(self, tmp_path):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        registry.histogram("powerlens_latency_seconds",
+                           buckets=(0.1, 1.0)).observe(0.4)
+        with tracer.span("root"):
+            pass
+        path = tmp_path / "clean.jsonl"
+        tracer.export_jsonl(path, metrics=registry)
+        trace = read_trace(path)
+        assert trace.malformed_lines == 0
+        assert len(trace.spans) == 1
+        assert trace.metrics is not None
+
+
+class TestHistogramQuantiles:
+    def test_uniform_fill_interpolates_linearly(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 3.0, 4.0))
+        for i in range(4):
+            hist.observe(i + 0.5)  # one per finite bucket
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_monotone_in_q(self):
+        hist = Histogram("h", buckets=(0.01, 0.1, 1.0, 10.0))
+        for v in (0.005, 0.02, 0.02, 0.5, 2.0, 20.0):
+            hist.observe(v)
+        qs = [hist.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_empty_and_invalid_q(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_single_bucket_estimate_inside_bucket(self):
+        hist = Histogram("h", buckets=(10.0,))
+        for _ in range(10):
+            hist.observe(3.0)
+        assert 0.0 < hist.quantile(0.5) <= 10.0
+
+    def test_summarize_trace_renders_quantiles(self, tmp_path):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        hist = registry.histogram("powerlens_stall_seconds",
+                                  buckets=(0.001, 0.01, 0.1))
+        for _ in range(20):
+            hist.observe(0.005)
+        with tracer.span("run"):
+            pass
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path, metrics=registry)
+        text = summarize_trace(read_trace(path))
+        line = next(l for l in text.splitlines()
+                    if "powerlens_stall_seconds" in l)
+        assert "p50=" in line and "p90=" in line and "p99=" in line
+
+    def test_empty_histogram_renders_without_quantiles(self, tmp_path):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        registry.histogram("powerlens_unused_seconds")
+        with tracer.span("run"):
+            pass
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path, metrics=registry)
+        text = summarize_trace(read_trace(path))
+        line = next(l for l in text.splitlines()
+                    if "powerlens_unused_seconds" in l)
+        assert "p50=" not in line
+
+
+class TestTraceCommandHardening:
+    def test_missing_file_exits_cleanly(self, capsys):
+        from repro.cli import main
+        assert main(["trace", "/definitely/not/here.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+
+    def test_empty_file_prints_summary_and_exits_zero(
+            self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", str(path)]) == 0
+        assert "trace: 0 span(s)" in capsys.readouterr().out

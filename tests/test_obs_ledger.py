@@ -1,0 +1,180 @@
+"""Energy-attribution ledger: the reconciliation invariant (attributed
+energy/time equals the simulator's own totals to <= 1e-9 relative
+error) property-tested across random networks, fault profiles and every
+governor family, plus the misprediction sweep and rendering."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.governors import FrequencyPlan, OndemandGovernor, PlanStep, \
+    PresetGovernor, StaticGovernor, fpg_g
+from repro.hw import FaultProfile, InferenceJob, InferenceSimulator, \
+    jetson_tx2
+from repro.models.random_gen import RandomDNNConfig, RandomDNNGenerator
+from repro.obs.ledger import EnergyLedger, RECONCILIATION_TOLERANCE
+
+from tests.conftest import build_small_cnn
+
+pytestmark = pytest.mark.obs
+
+_TINY_DNNS = RandomDNNConfig(min_stages=1, max_stages=2,
+                             max_blocks_per_stage=2)
+
+_FAULTS = (
+    None,
+    FaultProfile(switch_drop_rate=0.4, seed=5),
+    FaultProfile(telemetry_noise_std=0.5, switch_delay_rate=0.5,
+                 switch_delay_s=0.02, seed=9),
+)
+
+_GOVERNOR_NAMES = ("preset", "ondemand", "static", "fpg")
+
+
+def _governor_and_plan(name, graph):
+    """Governor under test plus the plan to attribute against (None for
+    the reactive families — they run as one whole-graph block)."""
+    if name == "preset":
+        n_ops = len(graph.compute_nodes())
+        steps = [PlanStep(0, 2)]
+        if n_ops > 3:
+            steps.append(PlanStep(3, 9))
+        if n_ops > 6:
+            steps.append(PlanStep(6, 5))
+        plan = FrequencyPlan(graph_name=graph.name, steps=steps)
+        return PresetGovernor([plan]), plan
+    if name == "ondemand":
+        return OndemandGovernor(), None
+    if name == "static":
+        return StaticGovernor(level=4), None
+    return fpg_g(), None
+
+
+class TestReconciliationProperty:
+    @settings(max_examples=16, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           governor=st.sampled_from(_GOVERNOR_NAMES),
+           fault_idx=st.integers(min_value=0, max_value=len(_FAULTS) - 1))
+    def test_attribution_closes_against_simulator_totals(
+            self, seed, governor, fault_idx):
+        graph = RandomDNNGenerator(seed=seed % 13,
+                                   config=_TINY_DNNS).generate()
+        gov, plan = _governor_and_plan(governor, graph)
+        sim = InferenceSimulator(jetson_tx2(), seed=seed,
+                                 keep_trace=True,
+                                 faults=_FAULTS[fault_idx])
+        result = sim.run(
+            [InferenceJob(graph=graph, batch_size=4, n_batches=2)], gov)
+        ledger = EnergyLedger.from_result(result, plan=plan, graph=graph)
+
+        rec = ledger.reconciliation
+        assert rec.ok
+        assert rec.energy_rel_err <= RECONCILIATION_TOLERANCE
+        assert rec.time_rel_err <= RECONCILIATION_TOLERANCE
+        # Block + overhead partition is exhaustive and non-overlapping.
+        assert math.isclose(ledger.block_energy_j
+                            + ledger.overhead_energy_j,
+                            ledger.total_energy_j, rel_tol=1e-12)
+        # Per-level residency inside each block sums to the block time.
+        for block in ledger.blocks:
+            if block.level_time:
+                assert math.isclose(sum(block.level_time.values()),
+                                    block.time_s, rel_tol=1e-9)
+
+    def test_single_block_without_plan_covers_every_op(self):
+        graph = build_small_cnn()
+        sim = InferenceSimulator(jetson_tx2(), keep_trace=True)
+        result = sim.run([InferenceJob(graph=graph, n_batches=2)],
+                         OndemandGovernor())
+        ledger = EnergyLedger.from_result(result, graph=graph)
+        assert len(ledger.blocks) == 1
+        block = ledger.blocks[0]
+        assert (block.op_start, block.op_stop) == \
+            (0, len(graph.compute_nodes()))
+        # Per-op rows re-partition exactly the block's attribution.
+        assert math.isclose(sum(op.energy_j for op in ledger.ops),
+                            block.energy_j, rel_tol=1e-12)
+        assert ledger.reconciliation.ok
+
+
+class TestMisprediction:
+    def test_fitted_sweep_labels_every_block(self, fitted_lens):
+        graph = build_small_cnn()
+        governor = fitted_lens.governor([graph])
+        sim = InferenceSimulator(fitted_lens.platform, keep_trace=True)
+        result = sim.run([InferenceJob(graph=graph, n_batches=2)],
+                         governor)
+        ledger = fitted_lens.ledger(result, graph,
+                                    plan=governor.plan_for(graph.name))
+        assert ledger.reconciliation.ok
+        for block in ledger.blocks:
+            assert block.best_level is not None
+            assert block.planned_energy_j is not None
+            assert block.best_energy_j is not None
+            # The sweep winner can never be beaten by the planned level.
+            assert block.best_energy_j <= block.planned_energy_j + 1e-12
+            if block.mispredicted:
+                assert block.best_level != block.planned_level
+                assert block.predicted_savings_frac > 0.005
+
+    def test_planned_level_winning_is_not_flagged(self, fitted_lens):
+        graph = build_small_cnn()
+        table = fitted_lens.evaluator.profile_table(
+            graph, fitted_lens.config.batch_size)
+        ops = list(range(table.n_ops))
+        best = fitted_lens.evaluator.best_level(
+            table.block_profile(ops), fitted_lens.config.latency_slack)
+        plan = FrequencyPlan(graph_name=graph.name,
+                             steps=[PlanStep(0, best)])
+        sim = InferenceSimulator(fitted_lens.platform, keep_trace=True)
+        result = sim.run([InferenceJob(graph=graph, n_batches=1)],
+                         PresetGovernor([plan]))
+        ledger = fitted_lens.ledger(result, graph, plan=plan)
+        assert ledger.mispredicted_blocks() == []
+
+
+class TestLedgerInterface:
+    def test_requires_kept_trace(self):
+        graph = build_small_cnn()
+        sim = InferenceSimulator(jetson_tx2(), keep_trace=False)
+        result = sim.run([InferenceJob(graph=graph, n_batches=1)],
+                         OndemandGovernor())
+        with pytest.raises(ValueError, match="keep_trace"):
+            EnergyLedger.from_result(result)
+
+    def test_to_dict_is_json_serializable(self):
+        graph = build_small_cnn()
+        gov, plan = _governor_and_plan("preset", graph)
+        sim = InferenceSimulator(jetson_tx2(), keep_trace=True)
+        result = sim.run([InferenceJob(graph=graph, n_batches=1)], gov)
+        ledger = EnergyLedger.from_result(result, plan=plan, graph=graph)
+        payload = json.loads(json.dumps(ledger.to_dict()))
+        assert payload["reconciliation"]["ok"] is True
+        assert len(payload["blocks"]) == len(ledger.blocks)
+        assert payload["images"] == result.report.images
+
+    def test_format_table_reports_reconciliation_and_overheads(self):
+        graph = build_small_cnn()
+        gov, plan = _governor_and_plan("preset", graph)
+        sim = InferenceSimulator(jetson_tx2(), keep_trace=True)
+        result = sim.run([InferenceJob(graph=graph, n_batches=2)], gov)
+        ledger = EnergyLedger.from_result(result, plan=plan, graph=graph)
+        table = ledger.format_table()
+        assert "reconciliation:" in table
+        assert "(ok)" in table
+        assert "cpu" in table        # CPU preprocessing bucket rendered
+        assert "verdict" in table
+
+    def test_ledger_is_observe_only(self):
+        """Building the ledger must not mutate the result it reads."""
+        graph = build_small_cnn()
+        sim = InferenceSimulator(jetson_tx2(), keep_trace=True)
+        result = sim.run([InferenceJob(graph=graph, n_batches=2)],
+                         OndemandGovernor())
+        segments = list(result.trace.segments)
+        report = result.report
+        EnergyLedger.from_result(result, graph=graph)
+        assert result.trace.segments == segments
+        assert result.report == report
