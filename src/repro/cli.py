@@ -172,6 +172,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the ledger as JSON instead of a table")
 
+    p = sub.add_parser("serve-sim",
+                       help="fleet-scale serving simulation: admit a "
+                            "seeded arrival trace, batch/queue per "
+                            "policy and dispatch across simulated "
+                            "devices with an SLO report")
+    _add_obs(p)
+    p.add_argument("--devices", default="tx2,agx",
+                   help="comma-separated platform presets, one fleet "
+                        "device each (default: tx2,agx)")
+    p.add_argument("--governor", default="powerlens",
+                   help="per-device DVFS governor: any registry name "
+                        "or 'powerlens' (analytic preset plans; "
+                        "default)")
+    p.add_argument("--policy", default="fifo",
+                   choices=["fifo", "slo", "deadline", "energy"],
+                   help="queueing policy (default: fifo)")
+    p.add_argument("--arrivals", default="poisson",
+                   choices=["poisson", "bursty"],
+                   help="arrival-trace generator (default: poisson)")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="mean arrival rate in requests/s (default: 20)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="trace horizon in seconds (default: 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace + fleet seed (default: 0)")
+    p.add_argument("--models", nargs="*", default=["alexnet"],
+                   help="model names requests draw from "
+                        "(default: alexnet)")
+    p.add_argument("--images", type=int, default=8,
+                   help="images per request (default: 8)")
+    p.add_argument("--slo", type=float, default=None,
+                   help="per-request latency SLO in seconds "
+                        "(default: best-effort)")
+    p.add_argument("--max-batch", type=int, default=4,
+                   help="max requests coalesced into one job "
+                        "(default: 4)")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="waiting-queue capacity (default: 64)")
+    p.add_argument("--fault-profile", default="none",
+                   help="'none' or a key=value,... fault spec injected "
+                        "on every device")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="plan-cache prewarm threads (results are "
+                        "identical at any value; default: 1)")
+    p.add_argument("--event-log", metavar="PATH", default=None,
+                   help="write the canonical JSONL event log "
+                        "(byte-identical across repeated runs)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the SLO report as JSON instead of a "
+                        "table")
+
     p = sub.add_parser("trace", help="summarize a JSONL span trace "
                                      "written with --trace")
     p.add_argument("file", help="trace file (JSON Lines)")
@@ -317,8 +368,63 @@ def main(argv: Optional[List[str]] = None) -> int:
             sink.stop()
 
 
+def _cmd_serve_sim(args, obs, trace_path: Optional[str],
+                   metrics_path: Optional[str]) -> int:
+    import json as _json
+
+    from repro.hw import FaultProfile
+    from repro.serving import (DeviceConfig, Fleet, FleetScheduler,
+                               SchedulerConfig, make_trace)
+
+    presets = [p.strip() for p in args.devices.split(",") if p.strip()]
+    if not presets:
+        print("powerlens serve-sim: --devices must name at least one "
+              "platform preset", file=sys.stderr)
+        return 2
+    configs = [DeviceConfig(name=f"{preset}-{i}", platform=preset)
+               for i, preset in enumerate(presets)]
+
+    spec = args.fault_profile.strip().lower()
+    faults = None if spec in ("", "none") else FaultProfile.parse(
+        args.fault_profile)
+
+    try:
+        fleet = Fleet.build(configs, governor=args.governor,
+                            fleet_seed=args.seed, faults=faults)
+    except (KeyError, ValueError) as exc:
+        print(f"powerlens serve-sim: {exc}", file=sys.stderr)
+        return 2
+    trace = make_trace(args.arrivals, rate_rps=args.rate,
+                       duration_s=args.duration, models=args.models,
+                       seed=args.seed,
+                       slo_latency_s=(args.slo if args.slo is not None
+                                      else float("inf")),
+                       images_per_request=args.images)
+    config = SchedulerConfig(policy=args.policy,
+                             max_batch=args.max_batch,
+                             queue_capacity=args.queue_capacity)
+    scheduler = FleetScheduler(fleet, config, obs=obs)
+    result = scheduler.run(trace, n_jobs=args.jobs)
+
+    if args.event_log:
+        from pathlib import Path
+        Path(args.event_log).write_text(result.event_log())
+        print(f"event log written to {args.event_log}", file=sys.stderr)
+
+    if args.json:
+        print(_json.dumps(result.report.to_dict(), indent=1,
+                          sort_keys=True))
+    else:
+        print(result.report.format_table())
+    _export_obs(obs, trace_path, metrics_path)
+    return 0
+
+
 def _dispatch(args, obs, trace_path: Optional[str],
               metrics_path: Optional[str]) -> int:
+    if args.command == "serve-sim":
+        return _cmd_serve_sim(args, obs, trace_path, metrics_path)
+
     # Everything else needs a fitted context.  The CLI caches generated
     # datasets by default (the library default is off): repeated table /
     # figure regenerations share one corpus per configuration.

@@ -19,6 +19,7 @@ from repro.experiments.figure5 import Figure5Result
 from repro.experiments.table1 import Table1Result
 from repro.experiments.table2 import Table2Result
 from repro.experiments.table3 import Table3Result
+from repro.serving.slo_report import SLOReport
 
 
 def table1_records(result: Table1Result) -> List[dict]:
@@ -100,12 +101,56 @@ def accuracy_records(result: AccuracyResult) -> List[dict]:
     }]
 
 
+def serving_records(report: SLOReport) -> List[dict]:
+    """One fleet-summary record plus one record per device."""
+    records = [{
+        "scope": "fleet",
+        "policy": report.policy,
+        "governor": report.governor,
+        "arrival_kind": report.arrival_kind,
+        "seed": report.seed,
+        "arrived": report.arrived,
+        "admitted": report.admitted,
+        "completed": report.completed,
+        "dropped_queue_full": report.dropped_queue_full,
+        "dropped_expired": report.dropped_expired,
+        "dropped_unserviceable": report.dropped_unserviceable,
+        "slo_violations": report.slo_violations,
+        "conserved": report.conserved,
+        "latency_p50_s": report.latency_p50_s,
+        "latency_p90_s": report.latency_p90_s,
+        "latency_p99_s": report.latency_p99_s,
+        "latency_mean_s": report.latency_mean_s,
+        "fleet_energy_j": report.fleet_energy_j,
+        "joules_per_request": report.joules_per_request,
+        "makespan_s": report.makespan_s,
+    }]
+    records += [
+        {
+            "scope": "device",
+            "device": d.name,
+            "platform": d.platform,
+            "jobs": d.jobs,
+            "requests": d.requests,
+            "busy_time_s": d.busy_time_s,
+            "energy_j": d.energy_j,
+            "anomalies": d.anomalies,
+            "drained": d.drained,
+            "plan_cache_hits": d.plan_cache_hits,
+            "plan_cache_misses": d.plan_cache_misses,
+        }
+        for d in report.devices
+    ]
+    return records
+
+
 _EXPORTERS = {
     Table1Result: table1_records,
     Table2Result: table2_records,
     Table3Result: table3_records,
     Figure5Result: figure5_records,
     AccuracyResult: accuracy_records,
+    SLOReport: serving_records,
 }
 
 

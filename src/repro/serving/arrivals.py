@@ -1,0 +1,223 @@
+"""Request arrival traces for the fleet serving simulator.
+
+The serving layer is request-driven: a :class:`Request` asks for one
+inference of ``model`` over ``images`` inputs and carries a relative
+latency SLO.  Traces are *fully materialized up front* — a
+:class:`ArrivalTrace` is an immutable, seed-deterministic sequence of
+requests, so the same ``(generator, seed)`` pair always produces the
+same workload and the scheduler's event log can be compared
+byte-for-byte across runs (``tests/test_serving_determinism.py``).
+
+Two generators model the ROADMAP's "millions of users" load shapes:
+
+:func:`poisson_trace`
+    Memoryless arrivals at a constant rate — the steady-state serving
+    baseline.
+:func:`bursty_trace`
+    A two-state Markov-modulated Poisson process: the trace alternates
+    between exponentially-distributed *calm* and *burst* intervals,
+    with the burst state arriving ``burst_factor`` times faster — the
+    tail-latency stressor.
+
+Both draw from dedicated :class:`random.Random` streams (seeded by
+name, like :mod:`repro.hw.faults`) so arrival times and model choices
+never re-roll each other's dice.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Request", "ArrivalTrace", "poisson_trace", "bursty_trace",
+           "make_trace", "TRACE_KINDS"]
+
+TRACE_KINDS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request presented to the fleet.
+
+    ``images`` is the number of inputs in the request (one simulator
+    batch); requests for the same ``(model, images)`` pair may be
+    coalesced into a single multi-batch :class:`~repro.hw.simulator.\
+    InferenceJob` by the queueing policy.  ``slo_latency_s`` is the
+    *relative* latency objective; ``math.inf`` means best-effort.
+    """
+
+    request_id: int
+    t_arrival: float
+    model: str
+    images: int = 8
+    slo_latency_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.t_arrival < 0:
+            raise ValueError("arrival time cannot be negative")
+        if self.images < 1:
+            raise ValueError("a request needs at least one image")
+        if self.slo_latency_s <= 0:
+            raise ValueError("slo_latency_s must be positive")
+
+    @property
+    def deadline(self) -> float:
+        """Absolute completion deadline (inf for best-effort)."""
+        return self.t_arrival + self.slo_latency_s
+
+    @property
+    def batch_key(self) -> Tuple[str, int]:
+        """Requests sharing this key can ride one inference job."""
+        return (self.model, self.images)
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Immutable, pre-materialized request sequence.
+
+    ``requests`` must be sorted by ``(t_arrival, request_id)`` with
+    unique ids — the scheduler relies on both for deterministic event
+    ordering.
+    """
+
+    kind: str
+    seed: int
+    requests: Tuple[Request, ...] = ()
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        order = [(r.t_arrival, r.request_id) for r in self.requests]
+        if order != sorted(order):
+            raise ValueError(
+                "trace requests must be sorted by (t_arrival, id)")
+        ids = [r.request_id for r in self.requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("trace request ids must be unique")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def models(self) -> List[str]:
+        """Distinct model names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for r in self.requests:
+            seen.setdefault(r.model, None)
+        return list(seen)
+
+    def rate_rps(self) -> float:
+        """Mean arrival rate over the trace duration."""
+        horizon = self.duration_s or (
+            self.requests[-1].t_arrival if self.requests else 0.0)
+        if horizon <= 0:
+            return 0.0
+        return len(self.requests) / horizon
+
+    def with_slo(self, slo_latency_s: float) -> "ArrivalTrace":
+        """Copy of this trace with every request's SLO replaced."""
+        return ArrivalTrace(
+            kind=self.kind, seed=self.seed, duration_s=self.duration_s,
+            requests=tuple(replace(r, slo_latency_s=slo_latency_s)
+                           for r in self.requests))
+
+
+def _draw_models(rng: random.Random, models: Sequence[str],
+                 weights: Optional[Sequence[float]], n: int) -> List[str]:
+    if weights is not None:
+        if len(weights) != len(models):
+            raise ValueError("one weight per model required")
+        return rng.choices(list(models), weights=list(weights), k=n)
+    return [rng.choice(list(models)) for _ in range(n)]
+
+
+def poisson_trace(rate_rps: float, duration_s: float,
+                  models: Sequence[str], seed: int = 0,
+                  images_per_request: int = 8,
+                  slo_latency_s: float = math.inf,
+                  model_weights: Optional[Sequence[float]] = None
+                  ) -> ArrivalTrace:
+    """Homogeneous Poisson arrivals at ``rate_rps`` over ``duration_s``."""
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    if not models:
+        raise ValueError("at least one model name required")
+    rng_t = random.Random(f"{seed}/poisson/arrivals")
+    rng_m = random.Random(f"{seed}/poisson/models")
+    times: List[float] = []
+    t = rng_t.expovariate(rate_rps)
+    while t < duration_s:
+        times.append(t)
+        t += rng_t.expovariate(rate_rps)
+    names = _draw_models(rng_m, models, model_weights, len(times))
+    requests = tuple(
+        Request(request_id=i, t_arrival=times[i], model=names[i],
+                images=images_per_request, slo_latency_s=slo_latency_s)
+        for i in range(len(times)))
+    return ArrivalTrace(kind="poisson", seed=seed, requests=requests,
+                        duration_s=duration_s)
+
+
+def bursty_trace(rate_rps: float, duration_s: float,
+                 models: Sequence[str], seed: int = 0,
+                 images_per_request: int = 8,
+                 slo_latency_s: float = math.inf,
+                 burst_factor: float = 8.0,
+                 mean_calm_s: float = 1.0,
+                 mean_burst_s: float = 0.25,
+                 model_weights: Optional[Sequence[float]] = None
+                 ) -> ArrivalTrace:
+    """Two-state MMPP: calm at ``rate_rps``, bursts at ``burst_factor``
+    times that, with exponentially-distributed state holding times."""
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+    if mean_calm_s <= 0 or mean_burst_s <= 0:
+        raise ValueError("state holding times must be positive")
+    if not models:
+        raise ValueError("at least one model name required")
+    rng_t = random.Random(f"{seed}/bursty/arrivals")
+    rng_s = random.Random(f"{seed}/bursty/states")
+    rng_m = random.Random(f"{seed}/bursty/models")
+    times: List[float] = []
+    t = 0.0
+    bursting = False
+    state_end = rng_s.expovariate(1.0 / mean_calm_s)
+    while t < duration_s:
+        rate = rate_rps * (burst_factor if bursting else 1.0)
+        t_next = t + rng_t.expovariate(rate)
+        if t_next >= state_end:
+            # State flip before the next arrival: restart the draw from
+            # the boundary under the new state's rate.
+            t = state_end
+            bursting = not bursting
+            mean = mean_burst_s if bursting else mean_calm_s
+            state_end = t + rng_s.expovariate(1.0 / mean)
+            continue
+        t = t_next
+        if t < duration_s:
+            times.append(t)
+    names = _draw_models(rng_m, models, model_weights, len(times))
+    requests = tuple(
+        Request(request_id=i, t_arrival=times[i], model=names[i],
+                images=images_per_request, slo_latency_s=slo_latency_s)
+        for i in range(len(times)))
+    return ArrivalTrace(kind="bursty", seed=seed, requests=requests,
+                        duration_s=duration_s)
+
+
+def make_trace(kind: str, rate_rps: float, duration_s: float,
+               models: Sequence[str], seed: int = 0,
+               **kwargs) -> ArrivalTrace:
+    """Build a trace by generator name (``poisson`` / ``bursty``)."""
+    key = kind.strip().lower()
+    if key == "poisson":
+        return poisson_trace(rate_rps, duration_s, models, seed, **kwargs)
+    if key == "bursty":
+        return bursty_trace(rate_rps, duration_s, models, seed, **kwargs)
+    raise ValueError(
+        f"unknown arrival kind {kind!r}; choose from "
+        f"{', '.join(TRACE_KINDS)}")

@@ -1,0 +1,147 @@
+"""Queueing policies: which waiting requests ride the next job.
+
+A policy looks at the waiting queue and picks the next *batch* — up to
+``max_batch`` requests sharing one :attr:`~repro.serving.arrivals.\
+Request.batch_key` (same model, same per-request image count), which
+the scheduler then coalesces into a single multi-batch
+:class:`~repro.hw.simulator.InferenceJob`.  Policies are pure functions
+of the queue contents and the current simulated time: no RNG, no
+global state — a requirement of the determinism contract.
+
+Three policies ship:
+
+``fifo``
+    Oldest request first; the batch is filled with later arrivals of
+    the same key in arrival order.
+``slo``
+    Earliest-deadline-first: the request closest to violating its SLO
+    anchors the batch (ties broken by arrival, then id).
+``energy``
+    Batch-size-aware admission in the spirit of SparseDVFS: the key
+    with the *most* waiting requests is served first, maximizing the
+    batch and therefore minimizing joules/request (the per-job CPU
+    preprocessing and DVFS actuation overheads amortize across the
+    batch).  Ties go to the key whose oldest request arrived first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.serving.arrivals import Request
+
+__all__ = ["QueuePolicy", "FifoPolicy", "DeadlinePolicy",
+           "EnergyAwarePolicy", "POLICY_REGISTRY", "make_policy"]
+
+
+class QueuePolicy:
+    """Base policy: subclasses override :meth:`select_batch`."""
+
+    #: Registry name (also used in event logs and SLO reports).
+    name: str = "base"
+
+    def select_batch(self, queue: Sequence[Request], t_now: float,
+                     max_batch: int) -> List[int]:
+        """Indices into ``queue`` forming the next batch.
+
+        Must return at most ``max_batch`` indices, all sharing one
+        ``batch_key``, in the order they should be accounted; an empty
+        list means "nothing to dispatch" (only legal for an empty
+        queue).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fill_batch(queue: Sequence[Request], anchor: int,
+                    max_batch: int) -> List[int]:
+        """Anchor plus later same-key requests in queue (arrival) order."""
+        key = queue[anchor].batch_key
+        picked = [anchor]
+        for i, req in enumerate(queue):
+            if len(picked) >= max_batch:
+                break
+            if i != anchor and req.batch_key == key:
+                picked.append(i)
+        # Account requests oldest-first regardless of the anchor's
+        # position so per-request latency attribution is stable.
+        picked.sort(key=lambda i: (queue[i].t_arrival,
+                                   queue[i].request_id))
+        return picked
+
+
+class FifoPolicy(QueuePolicy):
+    """First come, first served."""
+
+    name = "fifo"
+
+    def select_batch(self, queue: Sequence[Request], t_now: float,
+                     max_batch: int) -> List[int]:
+        if not queue:
+            return []
+        anchor = min(range(len(queue)),
+                     key=lambda i: (queue[i].t_arrival,
+                                    queue[i].request_id))
+        return self._fill_batch(queue, anchor, max_batch)
+
+
+class DeadlinePolicy(QueuePolicy):
+    """Earliest-deadline-first (SLO-driven)."""
+
+    name = "slo"
+
+    def select_batch(self, queue: Sequence[Request], t_now: float,
+                     max_batch: int) -> List[int]:
+        if not queue:
+            return []
+        anchor = min(range(len(queue)),
+                     key=lambda i: (queue[i].deadline,
+                                    queue[i].t_arrival,
+                                    queue[i].request_id))
+        return self._fill_batch(queue, anchor, max_batch)
+
+
+class EnergyAwarePolicy(QueuePolicy):
+    """Largest-batch-first: serve the key with the most waiting
+    requests, amortizing per-job overheads across the widest batch."""
+
+    name = "energy"
+
+    def select_batch(self, queue: Sequence[Request], t_now: float,
+                     max_batch: int) -> List[int]:
+        if not queue:
+            return []
+        counts: Dict[Tuple[str, int], int] = {}
+        oldest: Dict[Tuple[str, int], Tuple[float, int]] = {}
+        for req in queue:
+            key = req.batch_key
+            counts[key] = counts.get(key, 0) + 1
+            stamp = (req.t_arrival, req.request_id)
+            if key not in oldest or stamp < oldest[key]:
+                oldest[key] = stamp
+        best_key = min(counts,
+                       key=lambda k: (-min(counts[k], max_batch),
+                                      oldest[k]))
+        anchor = next(i for i, req in enumerate(queue)
+                      if req.batch_key == best_key
+                      and (req.t_arrival, req.request_id)
+                      == oldest[best_key])
+        return self._fill_batch(queue, anchor, max_batch)
+
+
+POLICY_REGISTRY: Dict[str, Callable[[], QueuePolicy]] = {
+    "fifo": FifoPolicy,
+    "slo": DeadlinePolicy,
+    "deadline": DeadlinePolicy,
+    "energy": EnergyAwarePolicy,
+}
+
+
+def make_policy(name: str) -> QueuePolicy:
+    """Instantiate a registered queueing policy by name."""
+    key = name.strip().lower()
+    if key not in POLICY_REGISTRY:
+        raise KeyError(
+            f"unknown queueing policy {name!r}; registered: "
+            f"{', '.join(sorted(set(POLICY_REGISTRY)))}")
+    return POLICY_REGISTRY[key]()

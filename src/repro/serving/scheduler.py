@@ -1,0 +1,375 @@
+"""The fleet scheduler: a deterministic discrete-event serving loop.
+
+:class:`FleetScheduler` consumes a pre-materialized
+:class:`~repro.serving.arrivals.ArrivalTrace` and drives a
+:class:`~repro.serving.fleet.Fleet` through virtual time:
+
+* **admission** — an arriving request joins the waiting queue or is
+  dropped (``queue_full``) when the queue is at capacity;
+* **dispatch** — whenever a healthy idle device exists, the queueing
+  policy picks the next batch (same model, same image count), the
+  scheduler routes it to the cheapest device under the policy's cost
+  axis (predicted joules for ``energy``, predicted seconds otherwise)
+  and executes the coalesced :class:`~repro.hw.simulator.InferenceJob`
+  through the full governor/simulator stack;
+* **completion** — the job's simulated duration advances the clock via
+  a completion event; per-request latency and an even energy share are
+  recorded, and the device's anomaly count is re-checked: crossing
+  ``unhealthy_after`` drains the device permanently;
+* **expiry / drain** — requests whose SLO deadline passed before
+  dispatch are dropped (``expired``); requests still queued when no
+  healthy device remains are dropped (``unserviceable``).
+
+Everything the loop does lands in an append-only **event log** whose
+canonical JSONL serialization is byte-identical across repeated runs of
+the same ``(trace, config)`` — the determinism property the hypothesis
+suite pins.  The event heap orders ties by ``(t, priority, seq)`` with
+completions (priority 0) ahead of arrivals (priority 1), so equal-time
+ordering is explicit, never dict- or hash-dependent.
+
+``n_jobs`` never touches execution: the event loop is strictly
+sequential; extra workers only pre-warm the per-device plan caches
+(pure functions), so results are byte-identical at any ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import Observability, NULL_OBS
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.serving.arrivals import ArrivalTrace, Request
+from repro.serving.fleet import DispatchRecord, Fleet, SimulatedDevice
+from repro.serving.queueing import QueuePolicy, make_policy
+from repro.serving.slo_report import (
+    DeviceSummary,
+    RequestOutcome,
+    SLOReport,
+)
+from repro.workloads import make_request_job
+
+__all__ = ["SchedulerConfig", "ServingResult", "FleetScheduler",
+           "canonical_event_line", "DROP_QUEUE_FULL", "DROP_EXPIRED",
+           "DROP_UNSERVICEABLE"]
+
+#: Heap priorities: completions free devices before same-time arrivals.
+_PRIO_COMPLETE = 0
+_PRIO_ARRIVAL = 1
+
+DROP_QUEUE_FULL = "queue_full"
+DROP_EXPIRED = "expired"
+DROP_UNSERVICEABLE = "unserviceable"
+
+
+def canonical_event_line(record: Dict[str, object]) -> str:
+    """One event as canonical JSON: sorted keys, no whitespace — the
+    unit of the byte-identity contract."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler knobs (the fleet itself is built separately)."""
+
+    policy: str = "fifo"
+    max_batch: int = 4
+    queue_capacity: int = 64
+    cpu_work_per_image: float = 1.2e8
+    #: Drop queued requests whose deadline already passed at dispatch
+    #: time (completions past deadline still count, as violations).
+    drop_expired: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.cpu_work_per_image < 0:
+            raise ValueError("cpu_work_per_image must be >= 0")
+
+
+@dataclass
+class ServingResult:
+    """Everything one :meth:`FleetScheduler.run` produced."""
+
+    report: SLOReport
+    events: List[Dict[str, object]]
+    outcomes: List[RequestOutcome]
+    metrics: MetricsRegistry
+    dispatches: List[DispatchRecord] = field(default_factory=list)
+
+    def event_log(self) -> str:
+        """Canonical JSONL event log (byte-identical across runs)."""
+        return "".join(canonical_event_line(r) + "\n"
+                       for r in self.events)
+
+
+class FleetScheduler:
+    """Admission + routing over one fleet (see module docstring)."""
+
+    def __init__(self, fleet: Fleet,
+                 config: Optional[SchedulerConfig] = None,
+                 obs: Optional[Observability] = None) -> None:
+        self.fleet = fleet
+        self.config = config or SchedulerConfig()
+        self.policy: QueuePolicy = make_policy(self.config.policy)
+        self.obs = obs if obs is not None else NULL_OBS
+
+    # ------------------------------------------------------------------
+    def run(self, trace: ArrivalTrace, n_jobs: int = 1) -> ServingResult:
+        """Serve ``trace`` to completion; returns the full outcome."""
+        cfg = self.config
+        fleet = self.fleet
+        for device in fleet.devices:
+            device.busy = False
+        batch_sizes = sorted({r.images for r in trace.requests})
+        if trace.requests:
+            fleet.prewarm(trace.models, batch_sizes, n_jobs=n_jobs)
+
+        events: List[Dict[str, object]] = []
+        outcomes: List[RequestOutcome] = []
+        dispatches: List[DispatchRecord] = []
+        queue: List[Request] = []
+        drops = {DROP_QUEUE_FULL: 0, DROP_EXPIRED: 0,
+                 DROP_UNSERVICEABLE: 0}
+        dispatch_seq = 0
+        event_seq = 0
+        makespan = 0.0
+
+        metrics = MetricsRegistry()
+        m_arrived = metrics.counter(
+            "powerlens_serving_requests_total",
+            help="Requests presented to the fleet")
+        m_admitted = metrics.counter(
+            "powerlens_serving_admitted_total")
+        m_completed = metrics.counter(
+            "powerlens_serving_completed_total")
+        m_jobs = metrics.counter("powerlens_serving_jobs_total")
+        m_drains = metrics.counter("powerlens_serving_drains_total")
+        m_drops = {
+            reason: metrics.counter(
+                f"powerlens_serving_dropped_{reason}_total")
+            for reason in drops
+        }
+        m_latency = metrics.histogram(
+            "powerlens_serving_request_latency_seconds",
+            help="Arrival-to-completion latency",
+            buckets=DEFAULT_BUCKETS)
+
+        def emit(t: float, kind: str, **fields: object) -> None:
+            nonlocal event_seq
+            record: Dict[str, object] = {"seq": event_seq, "t": t,
+                                         "event": kind}
+            record.update(fields)
+            events.append(record)
+            event_seq += 1
+
+        # (t, priority, tiebreak_seq, kind, payload)
+        heap: List[Tuple[float, int, int, str, object]] = []
+        for i, request in enumerate(trace.requests):
+            heapq.heappush(heap, (request.t_arrival, _PRIO_ARRIVAL, i,
+                                  "arrival", request))
+        heap_seq = len(trace.requests)
+
+        def drop(t: float, request: Request, reason: str) -> None:
+            drops[reason] += 1
+            m_drops[reason].inc()
+            emit(t, "drop", request_id=request.request_id,
+                 model=request.model, reason=reason)
+
+        def purge_expired(t: float) -> None:
+            if not cfg.drop_expired:
+                return
+            expired = [r for r in queue if r.deadline < t]
+            if not expired:
+                return
+            queue[:] = [r for r in queue if r.deadline >= t]
+            for request in sorted(expired,
+                                  key=lambda r: r.request_id):
+                drop(t, request, DROP_EXPIRED)
+
+        def pick_device(requests: Sequence[Request]
+                        ) -> Optional[SimulatedDevice]:
+            candidates = fleet.healthy_idle()
+            if not candidates:
+                return None
+            graph = fleet.graph_for(requests[0].model)
+            n_batches = len(requests)
+
+            def cost(item: Tuple[int, SimulatedDevice]
+                     ) -> Tuple[float, int]:
+                index, device = item
+                time_s, energy_j = device.predict(
+                    graph, requests[0].images)
+                axis = energy_j if self.policy.name == "energy" \
+                    else time_s
+                return (axis * n_batches, index)
+
+            pairs = [(fleet.devices.index(d), d) for d in candidates]
+            return min(pairs, key=cost)[1]
+
+        def try_dispatch(t: float) -> None:
+            nonlocal dispatch_seq, makespan, heap_seq
+            while True:
+                purge_expired(t)
+                if not queue:
+                    return
+                device_probe = fleet.healthy_idle()
+                if not device_probe:
+                    return
+                indices = self.policy.select_batch(queue, t,
+                                                   cfg.max_batch)
+                if not indices:
+                    return
+                batch = [queue[i] for i in indices]
+                for i in sorted(indices, reverse=True):
+                    del queue[i]
+                device = pick_device(batch)
+                if device is None:
+                    # Lost the race to a drain between probe and pick —
+                    # put the batch back (front, original order).
+                    queue[:0] = batch
+                    return
+                graph = fleet.graph_for(batch[0].model)
+                job = make_request_job(
+                    graph, n_requests=len(batch),
+                    images_per_request=batch[0].images,
+                    cpu_work_per_image=cfg.cpu_work_per_image,
+                    first_request_id=batch[0].request_id,
+                )
+                record = device.execute(job, dispatch_seq)
+                device.busy = True
+                device.requests_served += len(batch)
+                dispatches.append(record)
+                m_jobs.inc()
+                t_done = t + record.duration_s
+                emit(t, "dispatch", device=device.name,
+                     model=batch[0].model, images=batch[0].images,
+                     n_requests=len(batch),
+                     request_ids=[r.request_id for r in batch],
+                     predicted_done=t_done)
+                heapq.heappush(heap, (t_done, _PRIO_COMPLETE, heap_seq,
+                                      "complete",
+                                      (device, batch, record, t)))
+                heap_seq += 1
+                dispatch_seq += 1
+
+        # -- the event loop ------------------------------------------------
+        while heap:
+            t, _prio, _seq, kind, payload = heapq.heappop(heap)
+            if kind == "arrival":
+                request = payload
+                m_arrived.inc()
+                if len(queue) >= cfg.queue_capacity:
+                    drop(t, request, DROP_QUEUE_FULL)
+                else:
+                    queue.append(request)
+                    m_admitted.inc()
+                    emit(t, "admit", request_id=request.request_id,
+                         model=request.model, images=request.images)
+            else:  # complete
+                device, batch, record, t_dispatch = payload
+                device.busy = False
+                makespan = max(makespan, t)
+                share = record.energy_j / len(batch)
+                for request in batch:
+                    outcome = RequestOutcome(
+                        request_id=request.request_id,
+                        model=request.model,
+                        images=request.images,
+                        device=device.name,
+                        t_arrival=request.t_arrival,
+                        t_dispatch=t_dispatch,
+                        t_complete=t,
+                        energy_j=share,
+                        slo_latency_s=request.slo_latency_s,
+                    )
+                    outcomes.append(outcome)
+                    m_completed.inc()
+                    m_latency.observe(outcome.latency_s)
+                    emit(t, "complete",
+                         request_id=request.request_id,
+                         device=device.name,
+                         latency=outcome.latency_s,
+                         energy=share,
+                         slo_ok=outcome.slo_ok)
+                if not device.drained and \
+                        device.anomaly_count >= device.unhealthy_after:
+                    device.drained = True
+                    m_drains.inc()
+                    emit(t, "drain", device=device.name,
+                         anomalies=device.anomaly_count)
+            try_dispatch(t)
+
+        # -- end of trace: account every request still waiting -------------
+        t_end = max(makespan, trace.requests[-1].t_arrival
+                    if trace.requests else 0.0)
+        purge_expired(t_end)
+        for request in queue:
+            drop(t_end, request, DROP_UNSERVICEABLE)
+        queue.clear()
+
+        report = self._build_report(trace, outcomes, drops, makespan)
+        fleet_metrics = self.fleet.merged_metrics()
+        fleet_metrics.merge(metrics)
+        self._record_summary_metrics(fleet_metrics, report)
+        if self.obs.metrics.enabled:
+            self.obs.metrics.merge(fleet_metrics)
+        return ServingResult(report=report, events=events,
+                             outcomes=outcomes, metrics=fleet_metrics,
+                             dispatches=dispatches)
+
+    # ------------------------------------------------------------------
+    def _build_report(self, trace: ArrivalTrace,
+                      outcomes: Sequence[RequestOutcome],
+                      drops: Dict[str, int],
+                      makespan: float) -> SLOReport:
+        devices = [
+            DeviceSummary(
+                name=d.name,
+                platform=d.platform.name,
+                jobs=d.jobs_done,
+                requests=d.requests_served,
+                busy_time_s=d.busy_time_s,
+                energy_j=math.fsum(d.energies_j),
+                ledger_energy_j=math.fsum(d.ledger_energies_j),
+                anomalies=d.anomaly_count,
+                drained=d.drained,
+                plan_cache_hits=d.plan_cache.hits,
+                plan_cache_misses=d.plan_cache.misses,
+            )
+            for d in self.fleet.devices
+        ]
+        governors = {d.governor_name for d in self.fleet.devices}
+        return SLOReport.from_run(
+            policy=self.policy.name,
+            governor=(governors.pop() if len(governors) == 1
+                      else "mixed"),
+            arrival_kind=trace.kind,
+            seed=trace.seed,
+            duration_s=trace.duration_s,
+            arrived=len(trace),
+            dropped_queue_full=drops[DROP_QUEUE_FULL],
+            dropped_expired=drops[DROP_EXPIRED],
+            dropped_unserviceable=drops[DROP_UNSERVICEABLE],
+            outcomes=outcomes,
+            devices=devices,
+            makespan_s=makespan,
+        )
+
+    @staticmethod
+    def _record_summary_metrics(metrics: MetricsRegistry,
+                                report: SLOReport) -> None:
+        metrics.gauge("powerlens_serving_fleet_energy_joules",
+                      help="Total fleet energy of the run").set(
+            report.fleet_energy_j)
+        metrics.gauge("powerlens_serving_joules_per_request").set(
+            report.joules_per_request)
+        metrics.gauge("powerlens_serving_makespan_seconds").set(
+            report.makespan_s)
+        metrics.gauge("powerlens_serving_latency_p99_seconds").set(
+            report.latency_p99_s)

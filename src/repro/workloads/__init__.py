@@ -5,6 +5,7 @@ from repro.workloads.taskflow import (
     TaskFlowConfig,
     make_taskflow,
     make_model_job,
+    make_request_job,
     DEFAULT_BATCH_SIZE,
 )
 
@@ -14,5 +15,6 @@ __all__ = [
     "TaskFlowConfig",
     "make_taskflow",
     "make_model_job",
+    "make_request_job",
     "DEFAULT_BATCH_SIZE",
 ]

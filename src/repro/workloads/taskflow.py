@@ -55,6 +55,30 @@ def make_model_job(graph: Graph, n_runs: int = 50,
     )
 
 
+def make_request_job(graph: Graph, n_requests: int,
+                     images_per_request: int,
+                     cpu_work_per_image: float = 1.2e8,
+                     first_request_id: int = 0) -> InferenceJob:
+    """Serving-layer job: ``n_requests`` coalesced same-model requests,
+    each contributing one batch of ``images_per_request`` images.
+
+    The fleet scheduler (:mod:`repro.serving`) batches queued requests
+    sharing a ``(model, images)`` key into one of these; every request
+    in the job completes when the job does.
+    """
+    if n_requests < 1:
+        raise ValueError("a request job needs at least one request")
+    if images_per_request < 1:
+        raise ValueError("images_per_request must be >= 1")
+    return InferenceJob(
+        graph=graph,
+        batch_size=images_per_request,
+        n_batches=n_requests,
+        cpu_work_per_image=cpu_work_per_image,
+        name=f"{graph.name}/req{first_request_id}x{n_requests}",
+    )
+
+
 def make_taskflow(config: Optional[TaskFlowConfig] = None,
                   graphs: Optional[Dict[str, Graph]] = None
                   ) -> List[InferenceJob]:

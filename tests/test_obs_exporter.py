@@ -122,6 +122,23 @@ class TestMetricsExporter:
         finally:
             exporter.stop()
 
+    def test_concurrent_exporters_never_collide(self):
+        """Port-collision regression: exporters default to port 0 and
+        read the ephemeral port back from the bound socket, so any
+        number can run side-by-side (parallel test workers, a fleet
+        simulation next to an experiment run)."""
+        exporters = [MetricsExporter(_bundle()).start() for _ in range(3)]
+        try:
+            ports = [e.port for e in exporters]
+            assert len(set(ports)) == len(ports)
+            assert all(p != 0 for p in ports)
+            for e in exporters:
+                status, _, _ = _get(e.url + "healthz")
+                assert status == 200
+        finally:
+            for e in exporters:
+                e.stop()
+
     def test_off_by_default(self):
         """No experiment path starts an exporter on its own: the only
         construction sites are the CLI flag/env handlers."""

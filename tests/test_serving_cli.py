@@ -1,0 +1,93 @@
+"""``powerlens serve-sim``: end-to-end CLI behaviour.
+
+Covers the acceptance scenario — a seeded 2-device (TX2 + AGX) Poisson
+run is deterministic from the command line (byte-identical event logs
+and stdout across invocations) — plus the JSON output mode, the
+``--metrics`` file sink, and the fleet ``/metrics`` endpoint served
+from an ephemeral (port-0) listener so parallel test runs never
+collide.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+import repro.cli as cli
+from repro.obs import Observability
+from repro.obs.exporter import MetricsExporter
+from repro.obs.metrics import parse_prometheus_text
+
+pytestmark = pytest.mark.serving
+
+_ARGS = ["serve-sim", "--devices", "tx2,agx", "--rate", "15",
+         "--duration", "0.5", "--seed", "7", "--models", "alexnet"]
+
+
+def test_serve_sim_cli_is_deterministic(tmp_path, capsys):
+    """Same flags twice: identical stdout and event-log bytes."""
+    log1, log2 = tmp_path / "ev1.jsonl", tmp_path / "ev2.jsonl"
+    assert cli.main(_ARGS + ["--event-log", str(log1)]) == 0
+    out1 = capsys.readouterr().out
+    assert cli.main(_ARGS + ["--event-log", str(log2)]) == 0
+    out2 = capsys.readouterr().out
+    assert out1 == out2
+    assert "serving: poisson arrivals" in out1
+    assert log1.read_bytes() == log2.read_bytes()
+    events = [json.loads(line)
+              for line in log1.read_text().splitlines()]
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert {e["event"] for e in events} >= {"admit", "dispatch",
+                                            "complete"}
+
+
+def test_serve_sim_cli_json_and_metrics_file(tmp_path, capsys):
+    metrics_file = tmp_path / "serve.prom"
+    rc = cli.main(_ARGS + ["--json", "--policy", "energy",
+                           "--metrics", str(metrics_file)])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["policy"] == "energy"
+    assert report["conserved"] is True
+    assert report["arrived"] == (report["admitted"]
+                                 + report["dropped_queue_full"])
+    parsed = parse_prometheus_text(metrics_file.read_text())
+    assert parsed.counter(
+        "powerlens_serving_requests_total").value == report["arrived"]
+    assert parsed.counter(
+        "powerlens_serving_completed_total").value == report["completed"]
+
+
+def test_serve_sim_cli_rejects_bad_flags(capsys):
+    assert cli.main(["serve-sim", "--devices", " , "]) == 2
+    assert "at least one platform preset" in capsys.readouterr().err
+    assert cli.main(["serve-sim", "--governor", "warp-drive"]) == 2
+    assert "unknown serving governor" in capsys.readouterr().err
+
+
+def test_fleet_metrics_served_on_ephemeral_port():
+    """The fleet run's merged registry is scrapeable over HTTP; binding
+    port 0 and reading the bound port back keeps parallel suites from
+    colliding on a fixed port."""
+    from repro.serving import (DeviceConfig, Fleet, FleetScheduler,
+                               SchedulerConfig, make_trace)
+    from tests.conftest import build_small_cnn
+
+    obs = Observability.enabled_bundle()
+    fleet = Fleet.build([DeviceConfig("tx2-0", "tx2")],
+                        governor="powerlens", fleet_seed=2)
+    fleet.add_graph(build_small_cnn("small_cnn"))
+    trace = make_trace("poisson", rate_rps=30.0, duration_s=0.4,
+                       models=["small_cnn"], seed=2)
+    result = FleetScheduler(fleet, SchedulerConfig(), obs=obs).run(trace)
+
+    with MetricsExporter(obs, port=0) as exporter:
+        assert exporter.port != 0  # ephemeral port read back
+        with urllib.request.urlopen(exporter.url + "metrics",
+                                    timeout=5.0) as resp:
+            body = resp.read().decode("utf-8")
+    parsed = parse_prometheus_text(body)
+    assert parsed.counter("powerlens_serving_requests_total").value \
+        == result.report.arrived
+    assert parsed.counter("powerlens_serving_jobs_total").value \
+        == len(result.dispatches)

@@ -1,0 +1,77 @@
+"""Golden-regression fixture for the serving SLO report.
+
+A fixed 2-device (TX2 + AGX) Poisson scenario under the ``powerlens``
+planner and the ``slo`` policy is pinned byte-for-byte as
+``tests/goldens/serving_slo.json`` via the same
+:func:`repro.experiments.export.canonical_json` path as the Table-1/2
+goldens.  Any change to the arrival generators, queueing policies,
+scheduler event loop, analytic planner, governors, simulator, or ledger
+that moves a reported number past the canonical 10-significant-digit
+rounding lands here as a fixture diff — regenerate deliberately with::
+
+    pytest tests/test_serving_slo_golden.py --update-goldens
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.export import canonical_json, to_records
+from repro.serving import (
+    DeviceConfig,
+    Fleet,
+    FleetScheduler,
+    SchedulerConfig,
+    make_trace,
+)
+from tests.conftest import build_small_cnn
+
+pytestmark = pytest.mark.serving
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+_SEED = 17
+_MODEL = "small_cnn"
+
+
+def _golden_scenario():
+    fleet = Fleet.build([DeviceConfig("tx2-0", "tx2"),
+                         DeviceConfig("agx-1", "agx")],
+                        governor="powerlens", fleet_seed=_SEED)
+    fleet.add_graph(build_small_cnn(_MODEL))
+    trace = make_trace("poisson", rate_rps=40.0, duration_s=1.0,
+                       models=[_MODEL], seed=_SEED, slo_latency_s=0.75)
+    scheduler = FleetScheduler(fleet, SchedulerConfig(policy="slo"))
+    return scheduler.run(trace)
+
+
+def test_serving_slo_golden(update_goldens):
+    result = _golden_scenario()
+    path = GOLDEN_DIR / "serving_slo.json"
+    text = canonical_json(result.report) + "\n"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"golden fixture {path} missing — generate it with "
+        f"pytest tests/test_serving_slo_golden.py --update-goldens")
+    assert text == path.read_text(), (
+        "serving SLO report drifted from its golden fixture; if the "
+        "change is intended, rerun with --update-goldens and commit "
+        "the diff")
+
+
+def test_serving_records_shape():
+    """The export path: one fleet-scope record, then one per device,
+    idempotent canonical form."""
+    report = _golden_scenario().report
+    records = to_records(report)
+    assert records[0]["scope"] == "fleet"
+    assert records[0]["conserved"] is True
+    device_records = [r for r in records if r["scope"] == "device"]
+    assert [r["device"] for r in device_records] == ["tx2-0", "agx-1"]
+    assert sum(r["requests"] for r in device_records) == \
+        records[0]["completed"]
+    once = canonical_json(report)
+    assert canonical_json(report) == once
