@@ -151,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scales", nargs="*", type=float, default=None,
                    help="fault-profile multipliers to sweep "
                         "(default: 0 0.5 1 2)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="run the adaptive-retention sweep instead: "
+                        "AdaptivePresetGovernor vs the static preset "
+                        "under workload drift (no fitted lens needed)")
+    p.add_argument("--json", action="store_true",
+                   help="with --adaptive: emit the retention result "
+                        "as JSON instead of a table")
 
     p = sub.add_parser("ledger",
                        help="per-block energy attribution for one "
@@ -182,9 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated platform presets, one fleet "
                         "device each (default: tx2,agx)")
     p.add_argument("--governor", default="powerlens",
-                   help="per-device DVFS governor: any registry name "
-                        "or 'powerlens' (analytic preset plans; "
-                        "default)")
+                   help="per-device DVFS governor: any registry name, "
+                        "'powerlens' (analytic preset plans; default) "
+                        "or 'powerlens-adaptive' (preset plans plus "
+                        "ledger-driven replanning between jobs)")
     p.add_argument("--policy", default="fifo",
                    choices=["fifo", "slo", "deadline", "energy"],
                    help="queueing policy (default: fifo)")
@@ -216,6 +224,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="plan-cache prewarm threads (results are "
                         "identical at any value; default: 1)")
+    p.add_argument("--recovery", action="store_true",
+                   help="re-admit drained devices via cooldown → "
+                        "probe → probation instead of permanent drain")
+    p.add_argument("--recovery-cooldown", type=float, default=0.5,
+                   help="initial recovery cooldown in seconds, doubled "
+                        "per failed attempt (default: 0.5)")
+    p.add_argument("--probation", type=int, default=2,
+                   help="clean jobs a re-admitted device must serve "
+                        "before full recovery (default: 2)")
     p.add_argument("--event-log", metavar="PATH", default=None,
                    help="write the canonical JSONL event log "
                         "(byte-identical across repeated runs)")
@@ -400,9 +417,15 @@ def _cmd_serve_sim(args, obs, trace_path: Optional[str],
                        slo_latency_s=(args.slo if args.slo is not None
                                       else float("inf")),
                        images_per_request=args.images)
+    recovery = None
+    if args.recovery:
+        from repro.serving import RecoveryConfig
+        recovery = RecoveryConfig(cooldown_s=args.recovery_cooldown,
+                                  probation_jobs=args.probation)
     config = SchedulerConfig(policy=args.policy,
                              max_batch=args.max_batch,
-                             queue_capacity=args.queue_capacity)
+                             queue_capacity=args.queue_capacity,
+                             recovery=recovery)
     scheduler = FleetScheduler(fleet, config, obs=obs)
     result = scheduler.run(trace, n_jobs=args.jobs)
 
@@ -420,10 +443,41 @@ def _cmd_serve_sim(args, obs, trace_path: Optional[str],
     return 0
 
 
+def _cmd_adaptive_robustness(args, obs, trace_path: Optional[str],
+                             metrics_path: Optional[str]) -> int:
+    """``powerlens robustness --adaptive``: the drift-retention sweep.
+
+    Runs on analytic plans, so — unlike the classic robustness sweep —
+    no fitted lens (and no dataset generation) is needed; CI uses it as
+    a fast closed-loop smoke."""
+    import json as _json
+
+    from repro.experiments.adaptive import run_adaptive_retention
+    from repro.hw import FaultProfile
+
+    spec = args.fault_profile.strip().lower()
+    profile = (None if spec in ("representative", "rep")
+               else FaultProfile.parse(args.fault_profile))
+    kwargs = {}
+    if args.scales:
+        kwargs["scales"] = args.scales
+    result = run_adaptive_retention(args.platform, profile=profile,
+                                    **kwargs)
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(result.format_table())
+    _export_obs(obs, trace_path, metrics_path)
+    return 0
+
+
 def _dispatch(args, obs, trace_path: Optional[str],
               metrics_path: Optional[str]) -> int:
     if args.command == "serve-sim":
         return _cmd_serve_sim(args, obs, trace_path, metrics_path)
+    if args.command == "robustness" and args.adaptive:
+        return _cmd_adaptive_robustness(args, obs, trace_path,
+                                        metrics_path)
 
     # Everything else needs a fitted context.  The CLI caches generated
     # datasets by default (the library default is off): repeated table /

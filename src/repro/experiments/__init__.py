@@ -17,7 +17,15 @@ benchmark harness regenerates each artefact verbatim:
 * :mod:`~repro.experiments.robustness` — EE-gain retention of the
   resilient vs. naive preset runtime under injected faults (not in the
   paper; deployment-hardening evidence).
+* :mod:`~repro.experiments.adaptive` — EE-gain retention of the
+  adaptive (closed-loop) vs. static preset runtime under workload
+  drift plus faults (not in the paper; self-healing evidence).
 """
+
+from repro.experiments.adaptive import (
+    run_adaptive_retention,
+    AdaptiveRetentionResult,
+)
 
 from repro.experiments.common import ExperimentContext, get_context
 from repro.experiments.table1 import run_table1, Table1Result
@@ -45,4 +53,6 @@ __all__ = [
     "AccuracyResult",
     "run_robustness",
     "RobustnessResult",
+    "run_adaptive_retention",
+    "AdaptiveRetentionResult",
 ]

@@ -124,6 +124,7 @@ def serving_records(report: SLOReport) -> List[dict]:
         "fleet_energy_j": report.fleet_energy_j,
         "joules_per_request": report.joules_per_request,
         "makespan_s": report.makespan_s,
+        "drained_device_seconds": report.drained_device_seconds,
     }]
     records += [
         {
@@ -136,6 +137,8 @@ def serving_records(report: SLOReport) -> List[dict]:
             "energy_j": d.energy_j,
             "anomalies": d.anomalies,
             "drained": d.drained,
+            "drained_seconds": d.drained_seconds,
+            "readmissions": d.readmissions,
             "plan_cache_hits": d.plan_cache_hits,
             "plan_cache_misses": d.plan_cache_misses,
         }

@@ -11,6 +11,10 @@
   PowerLens (the plan itself comes from :mod:`repro.core`).
 * :class:`OracleGovernor` — exhaustive per-block optimum, the upper
   bound used to sanity-check the decision model.
+* :class:`AdaptivePresetGovernor` — the preset runtime plus a closed
+  feedback loop: ledger misprediction flags and anomaly signals drive
+  bounded, re-scored plan corrections between jobs, with rollback to
+  the last-good plan when a correction regresses.
 """
 
 from repro.governors.base import (
@@ -29,8 +33,14 @@ from repro.governors.preset import (
     RuntimeHealth,
 )
 from repro.governors.oracle import OracleGovernor
+from repro.governors.adaptive import (
+    AdaptivePresetGovernor,
+    ReplanHealth,
+)
 
 __all__ = [
+    "AdaptivePresetGovernor",
+    "ReplanHealth",
     "Governor",
     "GOVERNOR_REGISTRY",
     "make_governor",

@@ -1,0 +1,307 @@
+"""Adaptive preset governor: the closed self-healing loop.
+
+:class:`~repro.governors.preset.PresetGovernor` executes plans computed
+*offline*; when the workload drifts (batch size, input mix) the preset
+levels silently stop being optimal and the
+:class:`~repro.obs.ledger.EnergyLedger` flags block after block as
+mispredicted — but nothing acts.  :class:`AdaptivePresetGovernor`
+closes that loop **between inference jobs**:
+
+1. **observe** — after each job the caller hands the governor the
+   job's ledger (built with an evaluator so misprediction flags are
+   populated) plus the count of new anomalies;
+2. **synthesize** — every mispredicted block's level is nudged toward
+   the ledger's exhaustive-sweep winner, *bounded* to ``±max_nudge``
+   levels per correction so one noisy observation can never teleport
+   the plan;
+3. **re-score** — the candidate is evaluated against the current plan
+   with :meth:`~repro.hw.analytic.ProfileTable.plan_energy_time` at the
+   observed batch size; it is adopted only when the predicted energy
+   improves by at least ``min_improvement_frac`` without exceeding the
+   ``max_slowdown_frac`` latency guard;
+4. **hot-swap + verify** — an adopted correction replaces the plan for
+   the *next* job (verify-after-swap): if that job's measured EE
+   regresses by more than ``regression_tolerance`` relative to the
+   pre-swap job, the governor rolls back to the last-good plan and
+   freezes replanning for ``cooldown_jobs`` jobs.  Anything worse —
+   failing actuators mid-job — is still handled by the inherited
+   retry→pin→safe-level degradation ladder.
+
+Every decision is counted in :class:`ReplanHealth`, mirrored to
+``powerlens_replan_*_total`` metrics and recorded as ``replan`` spans.
+
+Determinism: the loop is pure arithmetic over the ledger and the
+analytic table — no RNG, no clock.  On a fault-free run of plans that
+are already sweep-optimal at the observed batch size nothing ever
+triggers, so the adaptive governor issues byte-identical DVFS commands
+to the static :class:`PresetGovernor` (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.governors.preset import FrequencyPlan, PlanStep, PresetGovernor
+from repro.hw.analytic import AnalyticEvaluator
+from repro.obs import Observability, NULL_OBS
+
+__all__ = ["ReplanHealth", "AdaptivePresetGovernor"]
+
+
+@dataclass
+class ReplanHealth:
+    """Counters for every replanning decision (cumulative across jobs —
+    unlike :class:`~repro.governors.preset.RuntimeHealth`, this is not
+    reset per run)."""
+
+    #: Candidate corrections synthesized from ledger feedback.
+    proposed: int = 0
+    #: Corrections that beat the re-scoring gate and were hot-swapped.
+    adopted: int = 0
+    #: Corrections rejected by the energy/latency re-scoring gate.
+    rejected: int = 0
+    #: Adopted corrections whose verify job confirmed the improvement.
+    confirmed: int = 0
+    #: Adopted corrections rolled back after a measured EE regression.
+    rollbacks: int = 0
+    #: Observations skipped inside a post-rollback/reject cooldown.
+    frozen_skips: int = 0
+    #: Individual block levels changed across all adopted corrections.
+    nudged_blocks: int = 0
+
+    @property
+    def active(self) -> bool:
+        """True when the adaptive loop ever acted."""
+        return self.adopted > 0 or self.rejected > 0 \
+            or self.rollbacks > 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "proposed": self.proposed,
+            "adopted": self.adopted,
+            "rejected": self.rejected,
+            "confirmed": self.confirmed,
+            "rollbacks": self.rollbacks,
+            "frozen_skips": self.frozen_skips,
+            "nudged_blocks": self.nudged_blocks,
+        }
+
+    def report(self) -> str:
+        return ", ".join(f"{k}={v}" for k, v in self.to_dict().items())
+
+
+@dataclass
+class _Trial:
+    """One hot-swapped correction awaiting its verify job."""
+
+    previous: FrequencyPlan          # last-good plan to roll back to
+    baseline_ee: float               # measured EE of the pre-swap job
+    batch_size: int                  # batch the baseline was measured at
+
+
+class AdaptivePresetGovernor(PresetGovernor):
+    """Self-healing preset runtime (see module docstring).
+
+    Parameters
+    ----------
+    evaluator:
+        Analytic oracle used to re-score candidate corrections.  Must
+        model the same platform the governor runs on.
+    max_nudge:
+        Per-block correction bound (levels per adopted correction).
+    min_improvement_frac:
+        Minimum predicted relative energy improvement for adoption.
+        Measured over the *whole plan*, so a per-block saving is diluted
+        by the untouched blocks — the default is deliberately small.
+    max_slowdown_frac:
+        Maximum predicted relative time increase a correction may cost.
+    regression_tolerance:
+        Measured-EE slack of the verify job before rolling back.
+    cooldown_jobs:
+        Jobs replanning stays frozen after a rollback or rejection.
+    obs:
+        Observability bundle; counters land in ``obs.metrics`` (also
+        wired into the inherited runtime counters) and decisions are
+        recorded as ``replan`` spans on ``obs.tracer``.
+    """
+
+    name = "powerlens-adaptive"
+
+    def __init__(self, plans: Sequence[FrequencyPlan],
+                 evaluator: AnalyticEvaluator,
+                 max_nudge: int = 2,
+                 min_improvement_frac: float = 0.001,
+                 max_slowdown_frac: float = 0.25,
+                 regression_tolerance: float = 0.02,
+                 cooldown_jobs: int = 2,
+                 latency_slack: float = 0.25,
+                 obs: Optional[Observability] = None,
+                 name: str = "powerlens-adaptive",
+                 **preset_kwargs: object) -> None:
+        obs = obs if obs is not None else NULL_OBS
+        super().__init__(plans, name=name, metrics=obs.metrics,
+                         **preset_kwargs)  # type: ignore[arg-type]
+        if max_nudge < 1:
+            raise ValueError("max_nudge must be >= 1")
+        if not 0.0 <= min_improvement_frac < 1.0:
+            raise ValueError("min_improvement_frac must be in [0, 1)")
+        if max_slowdown_frac < 0:
+            raise ValueError("max_slowdown_frac must be >= 0")
+        if regression_tolerance < 0:
+            raise ValueError("regression_tolerance must be >= 0")
+        if cooldown_jobs < 0:
+            raise ValueError("cooldown_jobs must be >= 0")
+        self.evaluator = evaluator
+        self.max_nudge = max_nudge
+        self.min_improvement_frac = min_improvement_frac
+        self.max_slowdown_frac = max_slowdown_frac
+        self.regression_tolerance = regression_tolerance
+        self.cooldown_jobs = cooldown_jobs
+        self.latency_slack = latency_slack
+        self.obs = obs
+        self.replan_health = ReplanHealth()
+        self._trial: Dict[str, _Trial] = {}
+        self._freeze: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _replan_count(self, event: str, n: int = 1) -> None:
+        self.obs.metrics.counter(
+            f"powerlens_replan_{event}_total").inc(n)
+
+    def _replan_span(self, action: str, graph_name: str,
+                     **attrs: object) -> None:
+        self.obs.tracer.record("replan", 0.0, action=action,
+                               graph=graph_name, **attrs)
+
+    # ------------------------------------------------------------------
+    # the between-jobs feedback entry point
+    # ------------------------------------------------------------------
+    def observe_job(self, graph, batch_size: int, ledger,
+                    new_anomalies: int = 0) -> str:
+        """Feed one finished job's ledger back into the planner.
+
+        ``ledger`` must be an :class:`~repro.obs.ledger.EnergyLedger`
+        built from the job's trace **with this governor's plan and an
+        evaluator attached** (so misprediction flags are populated).
+        Returns the action taken: ``"frozen"``, ``"rollback"``,
+        ``"none"``, ``"reject"`` or ``"adopt"``.
+        """
+        name = graph.name
+        if self._freeze.get(name, 0) > 0:
+            self._freeze[name] -= 1
+            self.replan_health.frozen_skips += 1
+            self._replan_count("frozen_skips")
+            return "frozen"
+
+        measured_ee: Optional[float] = None
+        if ledger.images > 0 and ledger.total_energy_j > 0:
+            measured_ee = ledger.images / ledger.total_energy_j
+
+        # -- verify-after-swap: judge the pending trial, if any ---------
+        trial = self._trial.pop(name, None)
+        if trial is not None and measured_ee is not None \
+                and trial.batch_size == int(batch_size):
+            floor = trial.baseline_ee * (1.0 - self.regression_tolerance)
+            if measured_ee < floor:
+                self.add_plan(trial.previous)
+                self._freeze[name] = self.cooldown_jobs
+                self.replan_health.rollbacks += 1
+                self._replan_count("rollbacks")
+                self._replan_span("rollback", name,
+                                  measured_ee=measured_ee,
+                                  baseline_ee=trial.baseline_ee)
+                return "rollback"
+            self.replan_health.confirmed += 1
+            self._replan_count("confirmed")
+            self._replan_span("confirm", name, measured_ee=measured_ee,
+                              baseline_ee=trial.baseline_ee)
+        # (a trial whose verify job ran at a different batch size is
+        # inconclusive: keep the correction, drop the trial)
+
+        # -- trigger: does this job's evidence warrant a correction? ----
+        mispredicted = ledger.mispredicted_blocks()
+        if not mispredicted and new_anomalies <= 0 \
+                and not self.health.degraded:
+            return "none"
+        plan = self._plans.get(name)
+        if plan is None or measured_ee is None:
+            return "none"
+
+        candidate = self._synthesize(plan, ledger)
+        if candidate is None:
+            return "none"
+        self.replan_health.proposed += 1
+        self._replan_count("proposed")
+
+        verdict = self._rescore(graph, batch_size, plan, candidate)
+        if not verdict:
+            self._freeze[name] = self.cooldown_jobs
+            self.replan_health.rejected += 1
+            self._replan_count("rejected")
+            self._replan_span("reject", name)
+            return "reject"
+
+        n_changed = sum(1 for a, b in zip(plan.steps, candidate.steps)
+                        if a.level != b.level)
+        self._trial[name] = _Trial(previous=plan,
+                                   baseline_ee=measured_ee,
+                                   batch_size=int(batch_size))
+        self.add_plan(candidate)
+        self.replan_health.adopted += 1
+        self.replan_health.nudged_blocks += n_changed
+        self._replan_count("adopted")
+        self._replan_count("nudged_blocks", n_changed)
+        self._replan_span("adopt", name, nudged_blocks=n_changed)
+        return "adopt"
+
+    # ------------------------------------------------------------------
+    # correction synthesis / re-scoring
+    # ------------------------------------------------------------------
+    def _synthesize(self, plan: FrequencyPlan,
+                    ledger) -> Optional[FrequencyPlan]:
+        """Bounded correction: nudge each mispredicted block's level at
+        most ``max_nudge`` steps toward the ledger's sweep winner."""
+        targets: Dict[int, int] = {
+            row.op_start: row.best_level
+            for row in ledger.mispredicted_blocks()
+            if row.best_level is not None
+        }
+        if not targets:
+            return None
+        steps: List[PlanStep] = []
+        changed = False
+        for step in plan.steps:
+            target = targets.get(step.op_index)
+            if target is None or target == step.level:
+                steps.append(step)
+                continue
+            delta = max(-self.max_nudge,
+                        min(self.max_nudge, target - step.level))
+            steps.append(PlanStep(step.op_index, step.level + delta))
+            changed = True
+        if not changed:
+            return None
+        return FrequencyPlan(graph_name=plan.graph_name, steps=steps,
+                             graph_fingerprint=plan.graph_fingerprint)
+
+    def _rescore(self, graph, batch_size: int, plan: FrequencyPlan,
+                 candidate: FrequencyPlan) -> bool:
+        """Analytic gate: the candidate must beat the current plan on
+        energy without blowing the latency guard."""
+        table = self.evaluator.profile_table(graph, int(batch_size))
+        starts = [s.op_index for s in plan.steps] + [table.n_ops]
+        blocks = [list(range(starts[i], starts[i + 1]))
+                  for i in range(len(plan.steps))]
+        clamp = table.n_levels - 1
+        cur = [min(max(s.level, 0), clamp) for s in plan.steps]
+        new = [min(max(s.level, 0), clamp) for s in candidate.steps]
+        e_cur, t_cur = table.plan_energy_time(blocks, cur)
+        e_new, t_new = table.plan_energy_time(blocks, new)
+        if e_cur <= 0:
+            return False
+        improves = e_new <= e_cur * (1.0 - self.min_improvement_frac)
+        fits = t_new <= t_cur * (1.0 + self.max_slowdown_frac)
+        return improves and fits

@@ -29,10 +29,11 @@ baseline.
 
 from __future__ import annotations
 
+import hashlib
 import statistics
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.governors.base import Governor
 from repro.hw.dvfs import SwitchResult
@@ -80,6 +81,7 @@ class FrequencyPlan:
             raise ValueError("plan op indices must be non-negative")
         self._indices = indices
         self._levels = [s.level for s in self.steps]
+        self._fingerprint: Optional[str] = None
 
     @property
     def n_blocks(self) -> int:
@@ -122,6 +124,18 @@ class FrequencyPlan:
         the plan's median level (low side) — conservative, always on
         the plan's own ladder."""
         return statistics.median_low(sorted(self._levels))
+
+    def fingerprint(self) -> str:
+        """Content hash of the plan (graph name, steps, recorded graph
+        fingerprint) — the key the governor's validation cache and the
+        adaptive replanner use to tell plans apart."""
+        if self._fingerprint is None:
+            blob = "/".join(
+                [self.graph_name, self.graph_fingerprint or ""]
+                + [f"{s.op_index}:{s.level}" for s in self.steps])
+            self._fingerprint = hashlib.sha256(
+                blob.encode()).hexdigest()[:32]
+        return self._fingerprint
 
 
 @dataclass
@@ -220,6 +234,12 @@ class PresetGovernor(Governor):
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.health = RuntimeHealth()
         self._installed: Dict[str, FrequencyPlan] = {}
+        # Verdict cache for the structural job-start validation, keyed
+        # by (plan fingerprint, graph fingerprint): a fault storm that
+        # re-enters the same (plan, graph) pair must not rescan the
+        # graph's node list every job (bounded FIFO — the adaptive
+        # replanner mints new plan fingerprints over time).
+        self._validation_cache: Dict[Tuple[str, str], bool] = {}
         self._active: Optional[FrequencyPlan] = None
         self._pending: Dict[int, int] = {}
         self._pinned: Dict[int, int] = {}
@@ -289,22 +309,39 @@ class PresetGovernor(Governor):
     # ------------------------------------------------------------------
     # plan execution
     # ------------------------------------------------------------------
+    #: Bound on the validation-verdict cache (FIFO eviction).
+    _VALIDATION_CACHE_SIZE = 256
+
     def _validated_plan(self, job) -> Optional[FrequencyPlan]:
         """Installed plan for the job's graph, or ``None`` when absent
-        or rejected by the structural checks."""
+        or rejected by the structural checks.
+
+        Verdicts are cached by ``(plan fingerprint, graph
+        fingerprint)`` so repeated job starts on the same pair — e.g.
+        every job of a fault storm that keeps re-entering the
+        degradation ladder — skip the graph-node rescan.  The per-run
+        rejection *counting* stays once per graph name regardless of
+        where the verdict came from.
+        """
         name = job.graph.name
         plan = self._installed.get(name)
         if plan is None:
             return None
-        n_ops = len(job.graph.compute_nodes())
-        if plan.max_op_index >= n_ops:
-            if name not in self._rejected_names:
-                self._rejected_names.add(name)
-                self.health.plans_rejected += 1
-                self._count("plans_rejected")
-            return None
-        if plan.graph_fingerprint is not None and \
-                plan.graph_fingerprint != job.graph.fingerprint():
+        key = (plan.fingerprint(), job.graph.fingerprint())
+        verdict = self._validation_cache.get(key)
+        if verdict is None:
+            n_ops = len(job.graph.compute_nodes())
+            verdict = not (
+                plan.max_op_index >= n_ops
+                or (plan.graph_fingerprint is not None
+                    and plan.graph_fingerprint != job.graph.fingerprint())
+            )
+            self._validation_cache[key] = verdict
+            while len(self._validation_cache) > \
+                    self._VALIDATION_CACHE_SIZE:
+                self._validation_cache.pop(
+                    next(iter(self._validation_cache)))
+        if not verdict:
             if name not in self._rejected_names:
                 self._rejected_names.add(name)
                 self.health.plans_rejected += 1

@@ -40,6 +40,7 @@ from repro.serving.fleet import (
     DispatchRecord,
     Fleet,
     PlanCache,
+    RecoveryConfig,
     SERVING_GOVERNORS,
     SimulatedDevice,
     analytic_plan,
@@ -71,8 +72,8 @@ __all__ = [
     "ArrivalTrace", "Request", "TRACE_KINDS", "bursty_trace",
     "make_trace", "poisson_trace",
     "DeviceConfig", "DispatchRecord", "Fleet", "PlanCache",
-    "SERVING_GOVERNORS", "SimulatedDevice", "analytic_plan",
-    "derive_seed", "plan_cache_key",
+    "RecoveryConfig", "SERVING_GOVERNORS", "SimulatedDevice",
+    "analytic_plan", "derive_seed", "plan_cache_key",
     "DeadlinePolicy", "EnergyAwarePolicy", "FifoPolicy",
     "POLICY_REGISTRY", "QueuePolicy", "make_policy",
     "FleetScheduler", "SchedulerConfig", "ServingResult",

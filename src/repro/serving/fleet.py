@@ -18,8 +18,12 @@ to treat it as an independent worker:
   admission: predictions are per ``(graph, batch_size)``);
 * a **health ledger** — an :class:`~repro.obs.anomaly.AnomalyDetector`
   rides along on every run; once a device has accumulated
-  ``unhealthy_after`` anomalies it is *drained* and the scheduler never
-  routes to it again;
+  ``unhealthy_after`` anomalies it is *drained* and the scheduler stops
+  routing to it.  With a :class:`RecoveryConfig` the drain is no longer
+  terminal: the device walks a deterministic recovery state machine
+  (drained → cooldown with exponential backoff → probe dispatch →
+  probation → re-admitted, back to drained on probe failure or a
+  probation anomaly) driven by the scheduler's event loop;
 * per-device **observability** — an enabled
   :class:`~repro.obs.metrics.MetricsRegistry` the fleet later merges
   into the single scheduler-wide registry.
@@ -41,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.graph import Graph
 from repro.governors import (
     GOVERNOR_REGISTRY,
+    AdaptivePresetGovernor,
     FrequencyPlan,
     PlanStep,
     PresetGovernor,
@@ -57,15 +62,17 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["PLAN_CACHE_VERSION", "plan_cache_key", "analytic_plan",
            "PlanCache", "DeviceConfig", "DispatchRecord",
-           "SimulatedDevice", "Fleet", "derive_seed",
+           "RecoveryConfig", "SimulatedDevice", "Fleet", "derive_seed",
            "SERVING_GOVERNORS"]
 
 #: Bump when the analytic planner's semantics change (invalidates keys).
 PLAN_CACHE_VERSION = 1
 
 #: Governor names the serving layer accepts: every registry governor
-#: plus the preset PowerLens runtime fed by the analytic planner.
-SERVING_GOVERNORS = tuple(sorted(GOVERNOR_REGISTRY)) + ("powerlens",)
+#: plus the preset PowerLens runtime fed by the analytic planner and
+#: its self-healing variant (ledger-driven replanning between jobs).
+SERVING_GOVERNORS = tuple(sorted(GOVERNOR_REGISTRY)) \
+    + ("powerlens", "powerlens-adaptive")
 
 
 def derive_seed(*parts: object) -> int:
@@ -176,6 +183,45 @@ class DeviceConfig:
             raise ValueError("noise_std must be >= 0")
 
 
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the drained-device recovery state machine.
+
+    A drained device waits out a cooldown (``cooldown_s`` doubled —
+    ``backoff_factor`` — per consecutive failed recovery, capped at
+    ``max_cooldown_s``), then runs one canonical *probe* job.  A clean
+    probe re-admits the device on **probation**: it serves real traffic
+    again, but any anomaly within its next ``probation_jobs`` jobs
+    re-drains it immediately (the regular ``unhealthy_after`` budget
+    only applies after probation).  ``max_attempts`` failed probes /
+    probation re-drains in a row make the drain permanent, which also
+    bounds the event loop.
+    """
+
+    cooldown_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_cooldown_s: float = 8.0
+    probation_jobs: int = 2
+    max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_cooldown_s < self.cooldown_s:
+            raise ValueError("max_cooldown_s must be >= cooldown_s")
+        if self.probation_jobs < 1:
+            raise ValueError("probation_jobs must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def cooldown_after(self, attempts: int) -> float:
+        """Backoff before probe attempt number ``attempts`` (0-based)."""
+        return min(self.max_cooldown_s,
+                   self.cooldown_s * self.backoff_factor ** attempts)
+
+
 @dataclass
 class DispatchRecord:
     """Outcome of one job executed on one device."""
@@ -188,6 +234,7 @@ class DispatchRecord:
     ledger_ok: bool                # reconciliation within 1e-9
     switch_count: int
     new_anomalies: int
+    replan_action: str = ""        # adaptive governor's observe verdict
 
 
 class SimulatedDevice:
@@ -224,8 +271,16 @@ class SimulatedDevice:
                                        obs=self.obs)
         if governor == "powerlens":
             self._governor = PresetGovernor([], metrics=self.obs.metrics)
+        elif governor == "powerlens-adaptive":
+            self._governor = AdaptivePresetGovernor(
+                [], self.evaluator, latency_slack=latency_slack,
+                obs=self.obs)
         else:
             self._governor = make_governor(governor)
+        # Adopted corrections per (graph fingerprint, batch): the
+        # adaptive loop's plans survive across dispatches without
+        # polluting the content-hash plan cache.
+        self._plan_overlay: Dict[Tuple[str, int], FrequencyPlan] = {}
         # -- scheduler-visible state --------------------------------------
         self.busy = False
         self.drained = False
@@ -237,6 +292,15 @@ class SimulatedDevice:
         self.anomaly_count = 0
         self.records: List[DispatchRecord] = []
         self._predictions: Dict[Tuple[str, int], Tuple[float, float]] = {}
+        # -- recovery state machine (driven by the scheduler) --------------
+        self.recovery_state = "active"
+        self.drain_count = 0
+        self.recovery_attempts = 0
+        self.readmissions = 0
+        self.probation_left = 0
+        self.anomaly_floor = 0
+        self.drained_since: Optional[float] = None
+        self.drained_seconds = 0.0
 
     # ------------------------------------------------------------------
     # planning / prediction
@@ -282,6 +346,55 @@ class SimulatedDevice:
     def idle(self) -> bool:
         return not self.busy
 
+    @property
+    def fresh_anomalies(self) -> int:
+        """Anomalies accumulated since the last re-admission — the
+        count the ``unhealthy_after`` drain budget applies to."""
+        return self.anomaly_count - self.anomaly_floor
+
+    # ------------------------------------------------------------------
+    # recovery state machine (transitions invoked by the scheduler;
+    # timing — cooldown scheduling, probe dispatch — lives in the
+    # scheduler's event loop so virtual time stays in one place)
+    # ------------------------------------------------------------------
+    def begin_drain(self, t: float) -> None:
+        """active/probation → drained at virtual time ``t``."""
+        self.drained = True
+        self.recovery_state = "drained"
+        self.drain_count += 1
+        if self.drained_since is None:
+            self.drained_since = t
+
+    def begin_cooldown(self) -> None:
+        """drained → cooldown (a probe has been scheduled)."""
+        self.recovery_state = "cooldown"
+
+    def begin_probation(self, t: float, probation_jobs: int) -> None:
+        """cooldown → probation: the probe ran clean, serve real
+        traffic again under a zero-tolerance anomaly budget."""
+        self.drained = False
+        self.recovery_state = "probation"
+        self.probation_left = probation_jobs
+        self.readmissions += 1
+        self.anomaly_floor = self.anomaly_count
+        if self.drained_since is not None:
+            self.drained_seconds += max(0.0, t - self.drained_since)
+            self.drained_since = None
+
+    def complete_probation(self) -> None:
+        """probation → active: the device survived its probation jobs;
+        the backoff ladder resets."""
+        self.recovery_state = "active"
+        self.probation_left = 0
+        self.recovery_attempts = 0
+
+    def finalize_drain_accounting(self, t_end: float) -> None:
+        """Close the drained-seconds interval of a still-drained device
+        at the end of the trace."""
+        if self.drained_since is not None:
+            self.drained_seconds += max(0.0, t_end - self.drained_since)
+            self.drained_since = None
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -300,8 +413,11 @@ class SimulatedDevice:
             faults = replace(self.faults, seed=derive_seed(
                 self.fleet_seed, self.name, dispatch_seq, "faults"))
         plan = None
+        overlay_key = (job.graph.fingerprint(), int(job.batch_size))
         if isinstance(self._governor, PresetGovernor):
-            plan = self.plan_for(job.graph, job.batch_size)
+            plan = self._plan_overlay.get(overlay_key)
+            if plan is None:
+                plan = self.plan_for(job.graph, job.batch_size)
             self._governor.add_plan(plan)
         sim = InferenceSimulator(
             self.platform,
@@ -317,8 +433,25 @@ class SimulatedDevice:
         anomalies_before = len(self.anomaly.anomalies)
         result = sim.run([job], self._governor)
         new_anomalies = len(self.anomaly.anomalies) - anomalies_before
-        ledger = EnergyLedger.from_result(result, plan=plan,
-                                          graph=job.graph)
+        replan_action = ""
+        if isinstance(self._governor, AdaptivePresetGovernor):
+            # The adaptive loop needs misprediction flags, so this
+            # ledger carries the evaluator; the static path stays
+            # byte-identical to its pre-adaptive form.
+            ledger = EnergyLedger.from_result(
+                result, plan=plan, graph=job.graph,
+                evaluator=self.evaluator,
+                batch_size=job.batch_size,
+                latency_slack=self.plan_cache.latency_slack)
+            replan_action = self._governor.observe_job(
+                job.graph, job.batch_size, ledger,
+                new_anomalies=new_anomalies)
+            current = self._governor.plan_for(job.graph.name)
+            if current is not None and current is not plan:
+                self._plan_overlay[overlay_key] = current
+        else:
+            ledger = EnergyLedger.from_result(result, plan=plan,
+                                              graph=job.graph)
         record = DispatchRecord(
             device=self.name,
             job_name=job.label(),
@@ -328,6 +461,7 @@ class SimulatedDevice:
             ledger_ok=ledger.reconciliation.ok,
             switch_count=result.switch_count,
             new_anomalies=new_anomalies,
+            replan_action=replan_action,
         )
         self.jobs_done += 1
         self.busy_time_s += record.duration_s

@@ -15,10 +15,19 @@
 * **completion** — the job's simulated duration advances the clock via
   a completion event; per-request latency and an even energy share are
   recorded, and the device's anomaly count is re-checked: crossing
-  ``unhealthy_after`` drains the device permanently;
+  ``unhealthy_after`` drains the device;
+* **recovery** — with :class:`~repro.serving.fleet.RecoveryConfig` a
+  drain is not terminal: after an exponentially backed-off cooldown the
+  scheduler dispatches a canonical *probe* job (sharing the dispatch
+  sequence, so seeds stay deterministic); a clean probe re-admits the
+  device on probation (any probation anomaly re-drains it), a failed
+  probe re-enters cooldown with doubled backoff until ``max_attempts``
+  makes the drain permanent;
 * **expiry / drain** — requests whose SLO deadline passed before
-  dispatch are dropped (``expired``); requests still queued when no
-  healthy device remains are dropped (``unserviceable``).
+  dispatch are dropped (``expired``); requests are dropped
+  ``unserviceable`` the moment the fleet goes *dead* — every device
+  drained and no probe pending (event ``cause="fleet_drained"``) —
+  rather than sitting in the queue until trace end (``trace_end``).
 
 Everything the loop does lands in an append-only **event log** whose
 canonical JSONL serialization is byte-identical across repeated runs of
@@ -40,10 +49,16 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.hw.simulator import InferenceJob
 from repro.obs import Observability, NULL_OBS
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
 from repro.serving.arrivals import ArrivalTrace, Request
-from repro.serving.fleet import DispatchRecord, Fleet, SimulatedDevice
+from repro.serving.fleet import (
+    DispatchRecord,
+    Fleet,
+    RecoveryConfig,
+    SimulatedDevice,
+)
 from repro.serving.queueing import QueuePolicy, make_policy
 from repro.serving.slo_report import (
     DeviceSummary,
@@ -56,9 +71,11 @@ __all__ = ["SchedulerConfig", "ServingResult", "FleetScheduler",
            "canonical_event_line", "DROP_QUEUE_FULL", "DROP_EXPIRED",
            "DROP_UNSERVICEABLE"]
 
-#: Heap priorities: completions free devices before same-time arrivals.
+#: Heap priorities: completions free devices before same-time arrivals;
+#: recovery probes run after both so they never shadow real traffic.
 _PRIO_COMPLETE = 0
 _PRIO_ARRIVAL = 1
+_PRIO_PROBE = 2
 
 DROP_QUEUE_FULL = "queue_full"
 DROP_EXPIRED = "expired"
@@ -82,6 +99,8 @@ class SchedulerConfig:
     #: Drop queued requests whose deadline already passed at dispatch
     #: time (completions past deadline still count, as violations).
     drop_expired: bool = True
+    #: Re-admit drained devices (None keeps drains permanent).
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -150,6 +169,11 @@ class FleetScheduler:
             "powerlens_serving_completed_total")
         m_jobs = metrics.counter("powerlens_serving_jobs_total")
         m_drains = metrics.counter("powerlens_serving_drains_total")
+        m_probes = metrics.counter("powerlens_serving_probes_total")
+        m_readmits = metrics.counter(
+            "powerlens_serving_readmissions_total")
+        m_redrains = metrics.counter(
+            "powerlens_serving_redrains_total")
         m_drops = {
             reason: metrics.counter(
                 f"powerlens_serving_dropped_{reason}_total")
@@ -174,12 +198,59 @@ class FleetScheduler:
             heapq.heappush(heap, (request.t_arrival, _PRIO_ARRIVAL, i,
                                   "arrival", request))
         heap_seq = len(trace.requests)
+        recovery = cfg.recovery
+        pending_probes = 0
+        arrivals_pending = len(trace.requests)
+        # Probe jobs exercise the lexicographically first model at
+        # batch 1 — a fixed, deterministic choice.
+        probe_graph = (fleet.graph_for(sorted(trace.models)[0])
+                       if trace.requests else None)
 
-        def drop(t: float, request: Request, reason: str) -> None:
+        def drop(t: float, request: Request, reason: str,
+                 cause: Optional[str] = None) -> None:
             drops[reason] += 1
             m_drops[reason].inc()
-            emit(t, "drop", request_id=request.request_id,
-                 model=request.model, reason=reason)
+            fields: Dict[str, object] = dict(
+                request_id=request.request_id, model=request.model,
+                reason=reason)
+            if cause is not None:
+                fields["cause"] = cause
+            emit(t, "drop", **fields)
+
+        def work_remains() -> bool:
+            return bool(queue) or arrivals_pending > 0
+
+        def fleet_dead() -> bool:
+            return (pending_probes == 0
+                    and all(d.drained for d in fleet.devices))
+
+        def purge_if_dead(t: float) -> None:
+            # Every device drained and no probe can revive one: the
+            # queue can never drain, so account the requests now with
+            # a distinct cause instead of holding them to trace end.
+            if not queue or not fleet_dead():
+                return
+            for request in list(queue):
+                drop(t, request, DROP_UNSERVICEABLE,
+                     cause="fleet_drained")
+            queue.clear()
+
+        def schedule_probe(t: float, device: SimulatedDevice) -> None:
+            nonlocal heap_seq, pending_probes
+            if recovery is None:
+                return
+            if device.recovery_attempts >= recovery.max_attempts:
+                emit(t, "recovery_exhausted", device=device.name,
+                     attempts=device.recovery_attempts)
+                return
+            delay = recovery.cooldown_after(device.recovery_attempts)
+            device.begin_cooldown()
+            pending_probes += 1
+            heapq.heappush(heap, (t + delay, _PRIO_PROBE, heap_seq,
+                                  "probe", device))
+            heap_seq += 1
+            emit(t, "cooldown", device=device.name,
+                 attempt=device.recovery_attempts, probe_at=t + delay)
 
         def purge_expired(t: float) -> None:
             if not cfg.drop_expired:
@@ -263,6 +334,7 @@ class FleetScheduler:
             t, _prio, _seq, kind, payload = heapq.heappop(heap)
             if kind == "arrival":
                 request = payload
+                arrivals_pending -= 1
                 m_arrived.inc()
                 if len(queue) >= cfg.queue_capacity:
                     drop(t, request, DROP_QUEUE_FULL)
@@ -271,6 +343,49 @@ class FleetScheduler:
                     m_admitted.inc()
                     emit(t, "admit", request_id=request.request_id,
                          model=request.model, images=request.images)
+                    purge_if_dead(t)
+            elif kind == "probe":
+                device = payload
+                pending_probes -= 1
+                if not work_remains():
+                    # Nothing left to serve: skip the probe so the
+                    # event loop can terminate.
+                    continue
+                device.recovery_state = "probing"
+                device.busy = True
+                pending_probes += 1
+                probe_job = InferenceJob(
+                    graph=probe_graph, batch_size=1, n_batches=1,
+                    cpu_work_per_image=cfg.cpu_work_per_image,
+                    name=f"{probe_graph.name}_probe")
+                record = device.execute(probe_job, dispatch_seq)
+                dispatch_seq += 1
+                m_probes.inc()
+                emit(t, "probe", device=device.name,
+                     attempt=device.recovery_attempts,
+                     duration=record.duration_s,
+                     anomalies=record.new_anomalies)
+                heapq.heappush(heap, (t + record.duration_s,
+                                      _PRIO_COMPLETE, heap_seq,
+                                      "probe_done", (device, record)))
+                heap_seq += 1
+            elif kind == "probe_done":
+                device, record = payload
+                device.busy = False
+                pending_probes -= 1
+                if record.new_anomalies > 0:
+                    device.recovery_attempts += 1
+                    device.recovery_state = "drained"
+                    emit(t, "probe_fail", device=device.name,
+                         attempts=device.recovery_attempts,
+                         anomalies=record.new_anomalies)
+                    schedule_probe(t, device)
+                    purge_if_dead(t)
+                else:
+                    device.begin_probation(t, recovery.probation_jobs)
+                    m_readmits.inc()
+                    emit(t, "readmit", device=device.name,
+                         probation_jobs=recovery.probation_jobs)
             else:  # complete
                 device, batch, record, t_dispatch = payload
                 device.busy = False
@@ -297,12 +412,32 @@ class FleetScheduler:
                          latency=outcome.latency_s,
                          energy=share,
                          slo_ok=outcome.slo_ok)
-                if not device.drained and \
-                        device.anomaly_count >= device.unhealthy_after:
-                    device.drained = True
+                if recovery is not None \
+                        and device.recovery_state == "probation":
+                    if record.new_anomalies > 0:
+                        # Zero tolerance on probation: one anomaly
+                        # sends the device straight back to cooldown.
+                        device.recovery_attempts += 1
+                        device.begin_drain(t)
+                        m_redrains.inc()
+                        m_drains.inc()
+                        emit(t, "redrain", device=device.name,
+                             anomalies=device.anomaly_count)
+                        schedule_probe(t, device)
+                        purge_if_dead(t)
+                    else:
+                        device.probation_left -= 1
+                        if device.probation_left <= 0:
+                            device.complete_probation()
+                            emit(t, "recover", device=device.name)
+                elif not device.drained and \
+                        device.fresh_anomalies >= device.unhealthy_after:
+                    device.begin_drain(t)
                     m_drains.inc()
                     emit(t, "drain", device=device.name,
                          anomalies=device.anomaly_count)
+                    schedule_probe(t, device)
+                    purge_if_dead(t)
             try_dispatch(t)
 
         # -- end of trace: account every request still waiting -------------
@@ -310,8 +445,10 @@ class FleetScheduler:
                     if trace.requests else 0.0)
         purge_expired(t_end)
         for request in queue:
-            drop(t_end, request, DROP_UNSERVICEABLE)
+            drop(t_end, request, DROP_UNSERVICEABLE, cause="trace_end")
         queue.clear()
+        for device in fleet.devices:
+            device.finalize_drain_accounting(t_end)
 
         report = self._build_report(trace, outcomes, drops, makespan)
         fleet_metrics = self.fleet.merged_metrics()
@@ -341,6 +478,9 @@ class FleetScheduler:
                 drained=d.drained,
                 plan_cache_hits=d.plan_cache.hits,
                 plan_cache_misses=d.plan_cache.misses,
+                drained_seconds=d.drained_seconds,
+                readmissions=d.readmissions,
+                recovery_state=d.recovery_state,
             )
             for d in self.fleet.devices
         ]
@@ -373,3 +513,7 @@ class FleetScheduler:
             report.makespan_s)
         metrics.gauge("powerlens_serving_latency_p99_seconds").set(
             report.latency_p99_s)
+        metrics.gauge(
+            "powerlens_serving_drained_device_seconds",
+            help="Total device-seconds spent drained").set(
+            report.drained_device_seconds)

@@ -82,6 +82,9 @@ class DeviceSummary:
     drained: bool
     plan_cache_hits: int
     plan_cache_misses: int
+    drained_seconds: float = 0.0   # device-seconds spent drained
+    readmissions: int = 0          # successful probe re-admissions
+    recovery_state: str = "active"
 
 
 @dataclass
@@ -113,6 +116,7 @@ class SLOReport:
     joules_per_request: float
     # -- fleet ----------------------------------------------------------
     makespan_s: float
+    drained_device_seconds: float = 0.0
     devices: List[DeviceSummary] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -153,6 +157,8 @@ class SLOReport:
             joules_per_request=(fleet_e / completed if completed
                                 else 0.0),
             makespan_s=makespan_s,
+            drained_device_seconds=math.fsum(
+                d.drained_seconds for d in devices),
             devices=list(devices),
         )
 
@@ -207,6 +213,7 @@ class SLOReport:
             "energy_rel_err": self.energy_rel_err,
             "joules_per_request": self.joules_per_request,
             "makespan_s": self.makespan_s,
+            "drained_device_seconds": self.drained_device_seconds,
             "devices": [
                 {
                     "name": d.name,
@@ -217,6 +224,8 @@ class SLOReport:
                     "energy_j": d.energy_j,
                     "anomalies": d.anomalies,
                     "drained": d.drained,
+                    "drained_seconds": d.drained_seconds,
+                    "readmissions": d.readmissions,
                     "plan_cache_hits": d.plan_cache_hits,
                     "plan_cache_misses": d.plan_cache_misses,
                 }
@@ -251,7 +260,10 @@ class SLOReport:
             f"ledger rel err {self.energy_rel_err:.2e} "
             f"({'ok' if self.energy_reconciled else 'FAILED'})")
         lines.append(f"makespan: {self.makespan_s:.3f} s "
-                     f"(trace horizon {self.duration_s:.3f} s)")
+                     f"(trace horizon {self.duration_s:.3f} s)"
+                     + (f", drained device-seconds "
+                        f"{self.drained_device_seconds:.3f}"
+                        if self.drained_device_seconds else ""))
         header = (f"{'device':>10s} {'platform':>18s} {'jobs':>5s} "
                   f"{'reqs':>5s} {'busy':>9s} {'energy':>10s} "
                   f"{'anom':>5s} {'plan$':>8s}  state")
@@ -260,7 +272,10 @@ class SLOReport:
         lines.append("-" * len(header))
         for d in self.devices:
             cache = f"{d.plan_cache_hits}/{d.plan_cache_misses}"
-            state = "drained" if d.drained else "healthy"
+            if d.recovery_state not in ("", "active"):
+                state = d.recovery_state
+            else:
+                state = "drained" if d.drained else "healthy"
             lines.append(
                 f"{d.name:>10s} {d.platform:>18s} {d.jobs:>5d} "
                 f"{d.requests:>5d} {d.busy_time_s:>7.3f} s "

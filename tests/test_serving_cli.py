@@ -91,3 +91,47 @@ def test_fleet_metrics_served_on_ephemeral_port():
         == result.report.arrived
     assert parsed.counter("powerlens_serving_jobs_total").value \
         == len(result.dispatches)
+
+
+_STORM_ARGS = ["serve-sim", "--devices", "tx2,tx2", "--rate", "20",
+               "--duration", "0.5", "--seed", "3", "--models",
+               "alexnet", "--fault-profile",
+               "telemetry_noise_std=0.8,switch_drop_rate=0.2"]
+
+
+def test_serve_sim_cli_recovery_flag(tmp_path, capsys):
+    """``--recovery`` turns drains into cooldown/probe cycles from the
+    command line, deterministically."""
+    rc = cli.main(_STORM_ARGS + ["--json"])
+    assert rc == 0
+    without = json.loads(capsys.readouterr().out)
+    log1, log2 = tmp_path / "r1.jsonl", tmp_path / "r2.jsonl"
+    rc = cli.main(_STORM_ARGS + ["--json", "--recovery",
+                                 "--recovery-cooldown", "0.05",
+                                 "--event-log", str(log1)])
+    assert rc == 0
+    with_recovery = json.loads(capsys.readouterr().out)
+    assert with_recovery["conserved"] is True
+    assert with_recovery["completed"] >= without["completed"]
+    assert cli.main(_STORM_ARGS + ["--json", "--recovery",
+                                   "--recovery-cooldown", "0.05",
+                                   "--event-log", str(log2)]) == 0
+    capsys.readouterr()
+    assert log1.read_bytes() == log2.read_bytes()
+    kinds = {json.loads(line)["event"]
+             for line in log1.read_text().splitlines()}
+    assert "cooldown" in kinds and "probe" in kinds
+
+
+def test_serve_sim_cli_adaptive_governor(capsys):
+    """The adaptive governor is selectable and zero-fault output is
+    identical to the static preset runtime."""
+    base = ["serve-sim", "--devices", "tx2,agx", "--rate", "15",
+            "--duration", "0.5", "--seed", "7", "--models", "alexnet"]
+    assert cli.main(base + ["--governor", "powerlens"]) == 0
+    static_out = capsys.readouterr().out
+    assert cli.main(base + ["--governor", "powerlens-adaptive"]) == 0
+    adaptive_out = capsys.readouterr().out
+    assert "governor powerlens-adaptive" in adaptive_out
+    assert (static_out.replace("governor powerlens", "G")
+            == adaptive_out.replace("governor powerlens-adaptive", "G"))
