@@ -22,6 +22,8 @@ Scale knobs:
 * ``POWERLENS_BENCH_LABEL_NETWORKS``   — fast-path comparison corpus
   (default 24; the reference path re-walks every op per scheme, so keep
   it modest).
+* ``POWERLENS_BENCH_DISTANCE_NETWORKS`` — distance-stage comparison
+  corpus (default 16).
 """
 
 import json
@@ -32,13 +34,18 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core.clustering import (
+    FactoredDistance,
+    blocks_from_distance,
+    smoothed_power_distance,
+)
 from repro.core.datasets import DatasetGenerator
 from repro.core.features import DepthwiseFeatureExtractor
 from repro.core.labeling import label_network, label_network_reference
 from repro.core.schemes import default_scheme_grid
 from repro.hw import jetson_tx2
 from repro.hw.analytic import AnalyticEvaluator
-from repro.models.random_gen import RandomDNNGenerator
+from repro.models.random_gen import RandomDNNConfig, RandomDNNGenerator
 
 pytestmark = pytest.mark.perf
 
@@ -47,6 +54,8 @@ DATAGEN_NETWORKS = int(
 DATAGEN_JOBS = int(os.environ.get("POWERLENS_BENCH_DATAGEN_JOBS", "4"))
 LABEL_NETWORKS = int(
     os.environ.get("POWERLENS_BENCH_LABEL_NETWORKS", "24"))
+DISTANCE_NETWORKS = int(
+    os.environ.get("POWERLENS_BENCH_DISTANCE_NETWORKS", "16"))
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_datagen.json"
 
@@ -101,8 +110,14 @@ def test_datagen_scaling(benchmark):
             "wall_time_s": round(s1.wall_time_s, 3),
             "networks_per_s": round(s1.networks_per_s, 3),
             "blocks_per_s": round(s1.blocks_per_s, 3),
+            # CPU-seconds summed over all workers (serial: one worker).
             "stage_seconds": {k: round(v, 3)
                               for k, v in s1.stage_seconds.items()},
+            # Same telemetry divided by n_jobs — comparable across pool
+            # widths (the pooled sum reads as a regression otherwise).
+            "stage_seconds_per_worker": {
+                k: round(v, 3)
+                for k, v in s1.stage_seconds_per_worker.items()},
         },
         "pooled": {
             "n_jobs": s2.n_jobs,
@@ -111,6 +126,9 @@ def test_datagen_scaling(benchmark):
             "blocks_per_s": round(s2.blocks_per_s, 3),
             "stage_seconds": {k: round(v, 3)
                               for k, v in s2.stage_seconds.items()},
+            "stage_seconds_per_worker": {
+                k: round(v, 3)
+                for k, v in s2.stage_seconds_per_worker.items()},
         },
     }
     # pool_speedup on a host with fewer CPUs than workers is pool
@@ -206,3 +224,79 @@ def test_labeling_fastpath_speedup(benchmark):
     })
     assert speedup >= 5.0, (
         f"labeling fast path regressed: {speedup:.1f}x < 5x")
+
+@pytest.mark.benchmark(group="datagen")
+def test_distance_fastpath_speedup(benchmark):
+    """Factorized blended-distance stage vs the dense reference
+    (``smoothed_power_distance`` + ``blocks_from_distance``): identical
+    power blocks and >= 3x over the scheme grid's windows."""
+    grid = default_scheme_grid()
+    windows = sorted({max(2, s.min_pts) for s in grid})
+    extractor = DepthwiseFeatureExtractor()
+    # The stage's cost is quadratic in network depth, so the deep end of
+    # the corpus dominates its wall time — benchmark there (RegNet-scale
+    # residual towers, ~120-400 ops) rather than on the mean-size net.
+    config = RandomDNNConfig(min_stages=3, max_stages=6,
+                             min_blocks_per_stage=4,
+                             max_blocks_per_stage=10)
+    corpus = []
+    for seed in range(DISTANCE_NETWORKS):
+        graph = RandomDNNGenerator(config, seed=seed).generate()
+        corpus.append(extractor.extract_scaled(graph))
+
+    alpha, lam = 0.6, 0.05
+
+    def run_reference():
+        out = []
+        for x in corpus:
+            for window in windows:
+                d = smoothed_power_distance(x, window, alpha=alpha,
+                                            lam=lam)
+                for scheme in grid:
+                    if max(2, scheme.min_pts) != window:
+                        continue
+                    out.append(blocks_from_distance(d, scheme.eps,
+                                                    scheme.min_pts))
+        return out
+
+    t0 = time.perf_counter()
+    reference = run_reference()
+    ref_s = time.perf_counter() - t0
+
+    def run_fast():
+        out = []
+        for x in corpus:
+            for window in windows:
+                oracle = FactoredDistance(x, window, alpha=alpha,
+                                          lam=lam)
+                for scheme in grid:
+                    if max(2, scheme.min_pts) != window:
+                        continue
+                    out.append(oracle.blocks(scheme.eps,
+                                             scheme.min_pts))
+        return out
+
+    fast = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+    fast_s = benchmark.stats.stats.mean
+
+    # The factorized oracle must reproduce the reference blocks exactly.
+    assert fast == reference
+
+    speedup = ref_s / fast_s
+    print()
+    print(f"distance stage, {DISTANCE_NETWORKS} networks, "
+          f"{len(grid)} schemes over windows {windows}:")
+    print(f"  reference: {ref_s:6.2f}s")
+    print(f"  fast:      {fast_s:6.2f}s")
+    print(f"  speedup: {speedup:.2f}x")
+
+    _record("distance_fastpath", {
+        "n_networks": DISTANCE_NETWORKS,
+        "n_schemes": len(grid),
+        "windows": windows,
+        "reference_wall_time_s": round(ref_s, 3),
+        "fast_wall_time_s": round(fast_s, 3),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 3.0, (
+        f"distance fast path regressed: {speedup:.2f}x < 3x")

@@ -136,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(p)
     p.add_argument("--model", default="resnet152")
 
+    p = sub.add_parser("profile",
+                       help="per-stage labeling breakdown from recorded "
+                            "stage_seconds telemetry (reuses the "
+                            "dataset cache; no benchmark run)")
+    _add_platform(p)
+    _add_networks(p)
+    _add_obs(p)
+
     p = sub.add_parser("robustness",
                        help="EE-gain retention under injected faults "
                             "(resilient vs. naive preset runtime)")
@@ -471,10 +479,93 @@ def _cmd_adaptive_robustness(args, obs, trace_path: Optional[str],
     return 0
 
 
+def _cmd_profile(args, obs, trace_path: Optional[str],
+                 metrics_path: Optional[str]) -> int:
+    """Per-stage labeling breakdown from ``stage_seconds`` telemetry.
+
+    Reuses the same dataset cache key as the table/figure commands, so
+    with a warm cache this prints instantly from the stored manifest —
+    no model training, no benchmark harness.  A cold cache generates
+    the corpus once (and stores it for the other commands).
+    """
+    from repro.core import PowerLensConfig
+    from repro.core.datasets import DatasetGenerator
+    from repro.core.persistence import (
+        DatasetCache,
+        dataset_cache_key,
+        default_cache_dir,
+        resolve_cache_dir,
+    )
+    from repro.hw import get_platform
+    from repro.obs import NULL_OBS
+
+    use_cache = not args.no_cache
+    cache_dir = args.cache_dir
+    if cache_dir is None and use_cache:
+        cache_dir = str(default_cache_dir())
+
+    platform = get_platform(args.platform)
+    cfg = PowerLensConfig(n_networks=args.networks)
+    the_obs = obs if obs is not None else NULL_OBS
+    generator = DatasetGenerator(
+        platform, schemes=list(cfg.schemes), batch_size=cfg.batch_size,
+        latency_slack=cfg.latency_slack, alpha=cfg.alpha, lam=cfg.lam,
+        dnn_config=cfg.dnn_config, obs=the_obs)
+    stats = None
+    cache = None
+    key = None
+    if use_cache:
+        resolved = resolve_cache_dir(cache_dir)
+        if resolved is not None:
+            cache = DatasetCache(resolved, obs=the_obs)
+            key = dataset_cache_key(
+                platform, generator.schemes, generator.dnn_config,
+                batch_size=cfg.batch_size,
+                latency_slack=cfg.latency_slack, alpha=cfg.alpha,
+                lam=cfg.lam, n_networks=args.networks, seed=cfg.seed)
+            cached = cache.load(key)
+            if cached is not None:
+                stats = cached[2]
+    if stats is None:
+        n_jobs = args.jobs if args.jobs >= 1 else None
+        a, b, stats = generator.generate(args.networks, seed=cfg.seed,
+                                         n_jobs=n_jobs)
+        if cache is not None and key is not None:
+            cache.store(key, a, b, stats)
+
+    source = "dataset cache" if stats.cache_hit else "fresh generation"
+    workers = max(1, stats.n_jobs)
+    print(f"labeling stage profile — {args.platform}, "
+          f"{stats.n_networks} networks, {stats.n_blocks} blocks "
+          f"({source}, {workers} worker(s))")
+    order = ("distance", "cluster", "evaluate")
+    named = [n for n in order if n in stats.stage_seconds]
+    named += sorted(set(stats.stage_seconds) - set(order))
+    total = sum(stats.stage_seconds.values())
+    norm = stats.stage_seconds_per_worker
+    print(f"{'stage':<10} {'CPU-s (summed)':>15} {'per-worker':>12} "
+          f"{'share':>7}")
+    for n in named:
+        v = stats.stage_seconds[n]
+        share = (100.0 * v / total) if total > 0 else 0.0
+        print(f"{n:<10} {v:>15.2f} {norm[n]:>12.2f} {share:>6.1f}%")
+    print(f"{'total':<10} {total:>15.2f} {total / workers:>12.2f} "
+          f"{'100.0%':>7}")
+    print(f"generation wall time {stats.wall_time_s:.2f}s "
+          f"({stats.networks_per_s:.1f} networks/s)")
+    if stats.n_quarantined:
+        print(f"quarantined: {stats.n_quarantined} "
+              f"(indices {stats.quarantined})")
+    _export_obs(obs, trace_path, metrics_path)
+    return 0
+
+
 def _dispatch(args, obs, trace_path: Optional[str],
               metrics_path: Optional[str]) -> int:
     if args.command == "serve-sim":
         return _cmd_serve_sim(args, obs, trace_path, metrics_path)
+    if args.command == "profile":
+        return _cmd_profile(args, obs, trace_path, metrics_path)
     if args.command == "robustness" and args.adaptive:
         return _cmd_adaptive_robustness(args, obs, trace_path,
                                         metrics_path)
@@ -516,9 +607,15 @@ def _dispatch(args, obs, trace_path: Optional[str],
         named += sorted(set(gen.stage_seconds) - set(order))
         parts = ", ".join(f"{n} {gen.stage_seconds[n]:.1f}s"
                           for n in named)
-        print(f"labeling stages: {parts} "
+        print(f"labeling stages (CPU-s summed over {gen.n_jobs} "
+              f"worker(s)): {parts} "
               f"(generation wall time {gen.wall_time_s:.1f}s)",
               file=sys.stderr)
+        if gen.n_jobs > 1:
+            norm = gen.stage_seconds_per_worker
+            parts = ", ".join(f"{n} {norm[n]:.1f}s" for n in named)
+            print(f"labeling stages (per-worker average): {parts}",
+                  file=sys.stderr)
 
     if args.command == "table1":
         from repro.experiments import run_table1

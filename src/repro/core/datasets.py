@@ -121,7 +121,12 @@ class GenerationStats:
     ``stage_seconds`` is the summed per-network labeling breakdown
     (``distance`` / ``cluster`` / ``evaluate`` wall time across all
     surviving networks and workers) — CPU time, so it can exceed
-    ``wall_time_s`` under a process pool.
+    ``wall_time_s`` under a process pool.  A pooled run sums ``n_jobs``
+    workers' clocks, so comparing the raw sum against a serial run reads
+    as a regression when nothing slowed down;
+    :attr:`stage_seconds_per_worker` divides by ``n_jobs`` to give the
+    wall-clock-comparable view.  Reports should label which of the two
+    they print.
     """
 
     n_networks: int = 0
@@ -149,6 +154,18 @@ class GenerationStats:
         if self.wall_time_s <= 0:
             return 0.0
         return self.n_blocks / self.wall_time_s
+
+    @property
+    def stage_seconds_per_worker(self) -> Dict[str, float]:
+        """Per-worker-normalized stage breakdown (CPU-s / ``n_jobs``).
+
+        With ``n_jobs=1`` this equals :attr:`stage_seconds`; under a
+        pool it is the average per-worker clock — the number to compare
+        across runs with different worker counts.
+        """
+        workers = max(1, self.n_jobs)
+        return {name: seconds / workers
+                for name, seconds in self.stage_seconds.items()}
 
 
 @dataclass(frozen=True)

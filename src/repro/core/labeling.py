@@ -15,9 +15,10 @@ This module is the per-network unit of work of dataset generation, so
 * one :class:`~repro.hw.analytic.ProfileTable` per ``(graph, batch)`` —
   block evaluations reduce precomputed op rows instead of re-walking the
   operator list per scheme/block/level;
-* the blended Mahalanobis distance matrix is computed once per distinct
-  smoothing window (``max(2, min_pts)``) and shared by every scheme in
-  the grid that uses it;
+* one :class:`~repro.core.clustering.FactoredDistance` per distinct
+  smoothing window (``max(2, min_pts)``): the blended Mahalanobis work
+  is eigen-factored into a whitened matmul (exact-decision-guarded, see
+  DESIGN.md §5i) and shared by every scheme in the grid that uses it;
 * ``(quality, levels)`` is memoized by block-partition key, so the many
   schemes that collapse to the same view are evaluated once — and the
   winner's levels are reused directly instead of a second sweep.
@@ -42,10 +43,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.clustering import (
-    blocks_from_distance,
-    cluster_power_blocks,
+    FactoredDistance,
     cluster_power_blocks_reference,
-    smoothed_power_distance,
 )
 from repro.core.schemes import ClusteringScheme
 from repro.graph import Graph
@@ -153,7 +152,7 @@ def _sweep_schemes(evaluator: AnalyticEvaluator, graph: Graph,
     with _stage_span(session, local, "evaluate"):
         table = evaluator.profile_table(graph, batch_size)
 
-    distances: Dict[int, np.ndarray] = {}
+    distances: Dict[int, FactoredDistance] = {}
     evaluations: Dict[tuple, Tuple[float, List[int]]] = {}
     views: List[List[List[int]]] = []
     qualities: List[float] = []
@@ -168,12 +167,11 @@ def _sweep_schemes(evaluator: AnalyticEvaluator, graph: Graph,
             distance = distances.get(window)
             if distance is None:
                 with _stage_span(session, local, "distance"):
-                    distance = smoothed_power_distance(
+                    distance = FactoredDistance(
                         features, window, alpha=alpha, lam=lam)
                 distances[window] = distance
             with _stage_span(session, local, "cluster"):
-                blocks = blocks_from_distance(distance, scheme.eps,
-                                              scheme.min_pts)
+                blocks = distance.blocks(scheme.eps, scheme.min_pts)
         views.append(blocks)
         with _stage_span(session, local, "evaluate"):
             key = _partition_key(blocks)

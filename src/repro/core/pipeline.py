@@ -128,7 +128,13 @@ class TrainingSummary:
             named += sorted(set(g.stage_seconds) - set(order))
             parts = ", ".join(
                 f"{n} {g.stage_seconds[n]:.1f}s" for n in named)
-            stages = f"labeling stages: {parts}\n"
+            stages = (f"labeling stages (CPU-s summed over "
+                      f"{g.n_jobs} worker(s)): {parts}\n")
+            if g.n_jobs > 1:
+                norm = g.stage_seconds_per_worker
+                parts = ", ".join(
+                    f"{n} {norm[n]:.1f}s" for n in named)
+                stages += f"labeling stages (per-worker average): {parts}\n"
         return (
             f"dataset: {g.n_networks} networks, "
             f"{g.n_blocks} blocks "

@@ -154,6 +154,31 @@ class ProfileTable:
         return total_e, total_t
 
 
+def simulator_op_rows(latency: LatencyModel, power: PowerModel,
+                      works: Sequence[OpWork], freq: float,
+                      batch_size: int) -> List[Tuple[float, float,
+                                                     float, float]]:
+    """ProfileTable-style op rows for the simulator's static fast path.
+
+    One ``(duration, busy_gpu_power, compute_util, memory_util)`` row per
+    operator at a fixed frequency, produced by the *same* scalar
+    ``LatencyModel.time_of`` / ``PowerModel.gpu_busy`` calls the
+    per-segment event loop makes — so a run that integrates whole op
+    sequences from these rows is bit-identical to one that re-derives
+    the numbers segment by segment (the models are pure).  The simulator
+    caches rows per ``(graph fingerprint, batch_size, level)`` and fleet
+    devices share one cache across dispatches.
+    """
+    rows = []
+    for work in works:
+        timing = latency.time_of(work, freq, batch_size)
+        rows.append((timing.duration,
+                     power.gpu_busy(freq, timing),
+                     timing.compute_utilization,
+                     timing.memory_utilization))
+    return rows
+
+
 class AnalyticEvaluator:
     """Vectorized fixed-level evaluation of operator sequences."""
 

@@ -95,9 +95,12 @@ def diff_benchmarks(old: Dict[str, Any], new: Dict[str, Any],
                     strict: bool = False) -> BenchDiff:
     """Compare two benchmark payloads.
 
-    ``tolerances`` maps a leaf-key name (e.g. ``"speedup"``) or a full
-    dotted path (e.g. ``"datagen_scaling.pooled.wall_time_s"``) to a
-    relative tolerance overriding ``rel_tol`` for that key.
+    ``tolerances`` maps a leaf-key name (e.g. ``"speedup"``), a full
+    dotted path (e.g. ``"datagen_scaling.pooled.wall_time_s"``), or any
+    dotted sub-path (e.g. ``"stage_seconds"`` covers every leaf under
+    every ``stage_seconds`` dict) to a relative tolerance overriding
+    ``rel_tol`` for the matching keys.  Precedence: full path, then
+    leaf name, then the longest matching sub-path.
     """
     if rel_tol < 0:
         raise ValueError("rel_tol must be >= 0")
@@ -112,6 +115,17 @@ def _tol_for(path: str, leaf: str, rel_tol: float,
         return overrides[path]
     if leaf in overrides:
         return overrides[leaf]
+    # Interior-key match: "stage_seconds" should cover
+    # "datagen_scaling.pooled.stage_seconds.distance".  Longest (most
+    # specific) matching sub-path wins.
+    haystack = f".{path}."
+    best_key = None
+    for key in overrides:
+        if f".{key}." in haystack:
+            if best_key is None or len(key) > len(best_key):
+                best_key = key
+    if best_key is not None:
+        return overrides[best_key]
     return rel_tol
 
 

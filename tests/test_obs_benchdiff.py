@@ -92,6 +92,23 @@ class TestDiffSemantics:
         assert diff_benchmarks(_BASE, new,
                                tolerances={"networks_per_s": 0.01}).ok
 
+    def test_subpath_tolerance_covers_nested_dict(self):
+        base = json.loads(json.dumps(_BASE))
+        base["datagen_scaling"]["serial"]["stage_seconds"] = {
+            "distance": 1.0, "cluster": 2.0}
+        new = json.loads(json.dumps(base))
+        new["datagen_scaling"]["serial"]["stage_seconds"]["distance"] = 4.0
+        # 75% relative drift: outside the default 0.5, inside a 2.0
+        # override addressed by the interior key name.
+        assert not diff_benchmarks(base, new).ok
+        assert diff_benchmarks(
+            base, new, tolerances={"stage_seconds": 2.0}).ok
+        # Full-path and leaf-name overrides still win over the sub-path.
+        tight = diff_benchmarks(
+            base, new, tolerances={"stage_seconds": 2.0,
+                                   "distance": 0.1})
+        assert not tight.ok
+
     def test_zero_values_compare_equal(self):
         assert diff_benchmarks({"a": {"v": 0.0}}, {"a": {"v": 0}}).ok
 

@@ -1,0 +1,181 @@
+"""Equivalence suite for the simulator's static-run fast path.
+
+When a run can contain no mid-op surprises — no duration noise, no
+thermal feedback, no fault injector, and a governor that declares
+``supports_static_fast_path`` — :meth:`InferenceSimulator.run`
+integrates whole op sequences from cached ProfileTable-style rows
+instead of walking the per-segment reference loop.  The contract is
+byte-identity: traces, telemetry samples, reports, metrics, anomaly
+records and the reconciled energy ledger must be indistinguishable
+from the retained generic loop, and any dynamic ingredient must
+disable the fast path entirely.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.governors.static import StaticGovernor
+from repro.hw import InferenceJob, InferenceSimulator, jetson_tx2
+from repro.hw.faults import FaultProfile
+from repro.hw.platform import jetson_agx_xavier
+from repro.hw.thermal import ThermalConfig
+from repro.models.random_gen import RandomDNNConfig, RandomDNNGenerator
+from repro.obs import Observability, MetricsRegistry, NULL_TRACER
+from repro.obs.anomaly import AnomalyDetector
+from repro.obs.ledger import EnergyLedger
+
+pytestmark = pytest.mark.faults
+
+
+class GenericStatic(StaticGovernor):
+    """StaticGovernor stripped of its marker: identical decisions, but
+    forced through the per-segment reference loop."""
+    supports_static_fast_path = False
+
+
+class RogueStatic(StaticGovernor):
+    """Claims the fast path but then *does* switch from its hooks.  The
+    marker is a performance claim, not a correctness contract: the lean
+    loops must honour every returned level exactly like the generic
+    loop does."""
+
+    def on_job_start(self, job_idx, job):
+        return 1 if job_idx % 2 == 0 else None
+
+    def on_op_start(self, job_idx, op_idx, work):
+        return 3 if op_idx == 2 else None
+
+    def on_sample(self, sample):
+        return 0 if sample.cpu_busy > 0.5 else None
+
+
+class RogueGeneric(RogueStatic):
+    supports_static_fast_path = False
+
+
+def _graph(seed):
+    return RandomDNNGenerator(RandomDNNConfig(), seed=seed).generate()
+
+
+def _assert_identical(a, b):
+    assert a.trace.segments == b.trace.segments
+    assert a.samples == b.samples
+    assert a.report == b.report
+    assert a.per_job == b.per_job
+    assert a.switch_count == b.switch_count
+    la = EnergyLedger.from_result(a)
+    lb = EnergyLedger.from_result(b)
+    assert la.reconciliation.energy_rel_err <= 1e-9
+    assert lb.reconciliation.energy_rel_err <= 1e-9
+    assert la.to_dict() == lb.to_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200),
+       level=st.sampled_from((None, 0, 2, -1, -2)),
+       cpu_policy=st.sampled_from(("ondemand", "efficient", "max")),
+       sample_period=st.sampled_from((0.005, 0.02, 0.1)),
+       batch=st.integers(min_value=1, max_value=32))
+def test_static_fast_path_matches_generic_loop(seed, level, cpu_policy,
+                                               sample_period, batch):
+    platform = jetson_tx2() if seed % 2 else jetson_agx_xavier()
+    job = InferenceJob(graph=_graph(seed % 8), batch_size=batch,
+                       n_batches=2)
+    kw = dict(sample_period=sample_period, noise_std=0.0, seed=seed)
+    fast = InferenceSimulator(platform, **kw).run(
+        [job], StaticGovernor(level, cpu_policy=cpu_policy))
+    ref = InferenceSimulator(platform, **kw).run(
+        [job], GenericStatic(level, cpu_policy=cpu_policy))
+    _assert_identical(fast, ref)
+
+
+def test_multi_job_shared_cache_cold_and_warm():
+    """Fleet-style reuse: a shared op-row cache across simulator
+    instances must not change a single byte, cold or warm."""
+    platform = jetson_tx2()
+    jobs = [InferenceJob(graph=_graph(s), batch_size=16, n_batches=3)
+            for s in range(4)]
+    ref = InferenceSimulator(platform, sample_period=0.02).run(
+        jobs, GenericStatic())
+    cache: dict = {}
+    cold = InferenceSimulator(platform, sample_period=0.02,
+                              op_row_cache=cache).run(jobs,
+                                                      StaticGovernor())
+    assert len(cache) > 0
+    warm = InferenceSimulator(platform, sample_period=0.02,
+                              op_row_cache=cache).run(jobs,
+                                                      StaticGovernor())
+    _assert_identical(cold, ref)
+    _assert_identical(warm, ref)
+
+
+def test_rogue_marker_governor_switches_honoured():
+    """A governor that lies about being static still gets byte-exact
+    treatment — hook-returned levels are applied in-path."""
+    platform = jetson_tx2()
+    jobs = [InferenceJob(graph=_graph(s), batch_size=8, n_batches=2)
+            for s in range(3)]
+    fast = InferenceSimulator(platform, sample_period=0.01).run(
+        jobs, RogueStatic())
+    ref = InferenceSimulator(platform, sample_period=0.01).run(
+        jobs, RogueGeneric())
+    assert fast.switch_count > 0  # the rogue hooks actually fired
+    _assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("dynamics", [
+    dict(noise_std=0.05),
+    dict(thermal=ThermalConfig()),
+    dict(faults=FaultProfile(seed=5, switch_drop_rate=0.3,
+                             telemetry_noise_std=0.2)),
+    dict(noise_std=0.05, thermal=ThermalConfig(),
+         faults=FaultProfile(seed=5, switch_delay_rate=0.5)),
+])
+def test_dynamic_runs_fall_back_to_generic(dynamics):
+    """Noise, thermal feedback or fault injection must disable the fast
+    path: a marked and an unmarked governor see the exact same run."""
+    platform = jetson_tx2()
+    job = InferenceJob(graph=_graph(1), batch_size=8, n_batches=2)
+    kw = dict(sample_period=0.01, seed=11, **dynamics)
+    fast = InferenceSimulator(platform, **kw).run([job],
+                                                  StaticGovernor())
+    ref = InferenceSimulator(platform, **kw).run([job], GenericStatic())
+    _assert_identical(fast, ref)
+
+
+def test_metrics_and_anomaly_observability_identical():
+    """The fast path's inlined window closure must feed metrics and the
+    anomaly detector exactly like the generic loop."""
+    platform = jetson_tx2()
+    jobs = [InferenceJob(graph=_graph(s), batch_size=8, n_batches=2)
+            for s in range(2)]
+
+    def run(governor_cls):
+        obs = Observability(tracer=NULL_TRACER,
+                            metrics=MetricsRegistry())
+        detector = AnomalyDetector()
+        result = InferenceSimulator(platform, sample_period=0.01,
+                                    obs=obs, anomaly=detector).run(
+            jobs, governor_cls())
+        return result, obs.metrics.to_dict(), detector.anomalies
+
+    fast, fast_metrics, fast_anoms = run(StaticGovernor)
+    ref, ref_metrics, ref_anoms = run(GenericStatic)
+    _assert_identical(fast, ref)
+    assert fast_metrics == ref_metrics
+    assert fast_anoms == ref_anoms
+
+
+def test_cache_injection_inert_for_dynamic_governors():
+    """Passing an op-row cache to a run that never takes the fast path
+    must change nothing (and leave the per-level row cache unused)."""
+    platform = jetson_tx2()
+    job = InferenceJob(graph=_graph(2), batch_size=8, n_batches=2)
+    cache: dict = {}
+    with_cache = InferenceSimulator(platform, sample_period=0.01,
+                                    op_row_cache=cache).run(
+        [job], GenericStatic())
+    without = InferenceSimulator(platform, sample_period=0.01).run(
+        [job], GenericStatic())
+    _assert_identical(with_cache, without)
+    assert not any(key[0] != "works" for key in cache)
