@@ -163,9 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the adaptive-retention sweep instead: "
                         "AdaptivePresetGovernor vs the static preset "
                         "under workload drift (no fitted lens needed)")
+    p.add_argument("--family", action="store_true",
+                   help="run the drift-retention sweep (same harness "
+                        "as --adaptive) and require the plan-family "
+                        "runtime to beat both adaptive and static at "
+                        "every fault scale (exit 1 otherwise)")
     p.add_argument("--json", action="store_true",
-                   help="with --adaptive: emit the retention result "
-                        "as JSON instead of a table")
+                   help="with --adaptive/--family: emit the retention "
+                        "result as JSON instead of a table")
 
     p = sub.add_parser("ledger",
                        help="per-block energy attribution for one "
@@ -198,9 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "device each (default: tx2,agx)")
     p.add_argument("--governor", default="powerlens",
                    help="per-device DVFS governor: any registry name, "
-                        "'powerlens' (analytic preset plans; default) "
-                        "or 'powerlens-adaptive' (preset plans plus "
-                        "ledger-driven replanning between jobs)")
+                        "'powerlens' (analytic preset plans; default), "
+                        "'powerlens-adaptive' (preset plans plus "
+                        "ledger-driven replanning between jobs), or "
+                        "the input-aware 'powerlens-family' / "
+                        "'powerlens-family-adaptive' (plans keyed by "
+                        "batch and activation-sparsity bucket)")
     p.add_argument("--policy", default="fifo",
                    choices=["fifo", "slo", "deadline", "energy"],
                    help="queueing policy (default: fifo)")
@@ -218,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: alexnet)")
     p.add_argument("--images", type=int, default=8,
                    help="images per request (default: 8)")
+    p.add_argument("--sparsities", nargs="*", type=float, default=None,
+                   help="activation-sparsity values requests draw from "
+                        "(uniform, dedicated seed stream); also the "
+                        "family governors' bucket edges (default: "
+                        "dense requests only)")
     p.add_argument("--slo", type=float, default=None,
                    help="per-request latency SLO in seconds "
                         "(default: best-effort)")
@@ -413,18 +426,25 @@ def _cmd_serve_sim(args, obs, trace_path: Optional[str],
     faults = None if spec in ("", "none") else FaultProfile.parse(
         args.fault_profile)
 
+    sparsities = getattr(args, "sparsities", None)
+    sparsity_edges = (0.0,)
+    if sparsities:
+        sparsity_edges = tuple(sorted({0.0} | {float(s)
+                                              for s in sparsities}))
     try:
         fleet = Fleet.build(configs, governor=args.governor,
-                            fleet_seed=args.seed, faults=faults)
+                            fleet_seed=args.seed, faults=faults,
+                            sparsity_edges=sparsity_edges)
+        trace = make_trace(args.arrivals, rate_rps=args.rate,
+                           duration_s=args.duration, models=args.models,
+                           seed=args.seed,
+                           slo_latency_s=(args.slo if args.slo is not None
+                                          else float("inf")),
+                           images_per_request=args.images,
+                           sparsity_choices=sparsities or None)
     except (KeyError, ValueError) as exc:
         print(f"powerlens serve-sim: {exc}", file=sys.stderr)
         return 2
-    trace = make_trace(args.arrivals, rate_rps=args.rate,
-                       duration_s=args.duration, models=args.models,
-                       seed=args.seed,
-                       slo_latency_s=(args.slo if args.slo is not None
-                                      else float("inf")),
-                       images_per_request=args.images)
     recovery = None
     if args.recovery:
         from repro.serving import RecoveryConfig
@@ -453,11 +473,15 @@ def _cmd_serve_sim(args, obs, trace_path: Optional[str],
 
 def _cmd_adaptive_robustness(args, obs, trace_path: Optional[str],
                              metrics_path: Optional[str]) -> int:
-    """``powerlens robustness --adaptive``: the drift-retention sweep.
+    """``powerlens robustness --adaptive`` / ``--family``: the
+    drift-retention sweep.
 
     Runs on analytic plans, so — unlike the classic robustness sweep —
     no fitted lens (and no dataset generation) is needed; CI uses it as
-    a fast closed-loop smoke."""
+    a fast closed-loop smoke.  With ``--family`` the command also
+    *asserts* the input-aware ordering — family EE >= adaptive EE >=
+    static EE at every swept fault scale — and exits 1 when any scale
+    violates it."""
     import json as _json
 
     from repro.experiments.adaptive import run_adaptive_retention
@@ -476,6 +500,20 @@ def _cmd_adaptive_robustness(args, obs, trace_path: Optional[str],
     else:
         print(result.format_table())
     _export_obs(obs, trace_path, metrics_path)
+    if args.family:
+        violations = [
+            s for i, s in enumerate(result.scales)
+            if not (result.ee["family"][i] >= result.ee["adaptive"][i]
+                    >= result.ee["static"][i])
+        ]
+        if violations:
+            print("powerlens robustness --family: ordering "
+                  "family >= adaptive >= static violated at scale(s) "
+                  + ", ".join(f"{s:g}" for s in violations),
+                  file=sys.stderr)
+            return 1
+        print("family >= adaptive >= static holds at every scale",
+              file=sys.stderr)
     return 0
 
 
@@ -566,7 +604,7 @@ def _dispatch(args, obs, trace_path: Optional[str],
         return _cmd_serve_sim(args, obs, trace_path, metrics_path)
     if args.command == "profile":
         return _cmd_profile(args, obs, trace_path, metrics_path)
-    if args.command == "robustness" and args.adaptive:
+    if args.command == "robustness" and (args.adaptive or args.family):
         return _cmd_adaptive_robustness(args, obs, trace_path,
                                         metrics_path)
 

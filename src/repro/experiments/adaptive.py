@@ -6,9 +6,13 @@ driver asks the next question: when the **workload itself drifts** —
 the serving batch size drops away from the batch the plan was built
 for — how much of the zero-fault EE gain does each runtime retain?
 
-Three runtimes execute the *same* drifting job flow over the *same*
+Four runtimes execute the *same* drifting job flow over the *same*
 deterministic fault sequence:
 
+* **family** — :class:`~repro.governors.family.PlanFamilyGovernor`: a
+  plan *family* spanning both the build and the drift batch, with the
+  right member selected at each job's dispatch — input-aware, zero
+  reactive lag;
 * **adaptive** — :class:`~repro.governors.adaptive.AdaptivePresetGovernor`:
   after every job the ledger's misprediction flags drive a bounded,
   re-scored plan correction (see the governor's module docstring);
@@ -40,9 +44,12 @@ Headline metrics, per fault scale:
   much of the advantage the runtime was deployed for survives drift
   plus faults.
 
-The acceptance bar: adaptive strictly beats static on the drifted flow
-at every swept scale, while the no-drift anchor stays byte-identical
-between the two (the loop must be free when there is nothing to fix).
+The acceptance bar: family strictly beats adaptive (selecting the
+right plan up front beats converging toward it) and adaptive strictly
+beats static on the drifted flow at every swept scale, while the
+no-drift anchor stays byte-identical across family, adaptive and
+static (selection and the loop must both be free when there is nothing
+to fix).
 """
 
 from __future__ import annotations
@@ -54,7 +61,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.governors import (
     AdaptivePresetGovernor,
     OndemandGovernor,
+    PlanFamilyGovernor,
     PresetGovernor,
+    build_plan_family,
 )
 from repro.graph import Graph, GraphBuilder
 from repro.hw.analytic import AnalyticEvaluator
@@ -70,7 +79,11 @@ from repro.serving.fleet import analytic_plan, derive_seed
 DEFAULT_SCALES = (0.0, 0.5, 1.0, 2.0)
 
 #: Runtime labels, in table order.
-DRIFT_RUNTIMES = ("adaptive", "static", "bim")
+DRIFT_RUNTIMES = ("family", "adaptive", "static", "bim")
+
+#: Runtimes gains/retention are reported for (everything but the BiM
+#: baseline itself).
+GAIN_RUNTIMES = ("family", "adaptive", "static")
 
 #: Batch size the preset plans are built for (warm phase).
 DEFAULT_BUILD_BATCH = 16
@@ -140,8 +153,8 @@ class AdaptiveRetentionResult:
     ee: Dict[str, List[float]] = field(default_factory=dict)
     #: runtime -> EE on the no-drift zero-fault anchor flow.
     anchor_ee: Dict[str, float] = field(default_factory=dict)
-    #: adaptive ≡ static byte-identity on the anchor flow (per-job
-    #: energy/time/switch-count signatures all equal).
+    #: family ≡ adaptive ≡ static byte-identity on the anchor flow
+    #: (per-job energy/time/switch-count signatures all equal).
     anchor_identical: bool = False
     #: adaptive governor's ReplanHealth counters per scale.
     replan: List[Dict[str, int]] = field(default_factory=list)
@@ -171,28 +184,31 @@ class AdaptiveRetentionResult:
             return 0.0
         return self.gain(runtime, i) / g0
 
+    _RUNTIME_ABBREV = {"family": "fm", "adaptive": "ad", "static": "st"}
+
     def format_table(self) -> str:
         title = (f"Adaptive retention under workload drift "
                  f"({self.build_batch}→{self.drift_batch}) on "
                  f"{self.platform}")
+        abbrevs = [self._RUNTIME_ABBREV[r] for r in GAIN_RUNTIMES]
         lines = [title, "=" * len(title),
                  f"anchor gain over BiM (no drift, no faults): "
                  f"{self.anchor_gain() * 100:+.2f}%  "
-                 f"[adaptive byte-identical to static: "
+                 f"[family & adaptive byte-identical to static: "
                  f"{'yes' if self.anchor_identical else 'NO'}]",
                  f"{'scale':>6s} " + " ".join(
                      f"{'EE ' + r:>13s}" for r in DRIFT_RUNTIMES)
-                 + f" {'gain ad':>9s} {'gain st':>9s}"
-                 + f" {'ret ad':>8s} {'ret st':>8s}"]
+                 + "".join(f" {'gain ' + a:>9s}" for a in abbrevs)
+                 + "".join(f" {'ret ' + a:>8s}" for a in abbrevs)]
         for i, s in enumerate(self.scales):
             ee_cols = " ".join(
                 f"{self.ee[r][i]:>13.4f}" for r in DRIFT_RUNTIMES)
             lines.append(
                 f"{s:>6.2f} {ee_cols}"
-                f" {self.gain('adaptive', i) * 100:>+8.2f}%"
-                f" {self.gain('static', i) * 100:>+8.2f}%"
-                f" {self.retention('adaptive', i) * 100:>7.1f}%"
-                f" {self.retention('static', i) * 100:>7.1f}%")
+                + "".join(f" {self.gain(r, i) * 100:>+8.2f}%"
+                          for r in GAIN_RUNTIMES)
+                + "".join(f" {self.retention(r, i) * 100:>7.1f}%"
+                          for r in GAIN_RUNTIMES))
         if self.replan:
             last = self.replan[-1]
             lines.append("adaptive replan health at max scale: "
@@ -213,10 +229,10 @@ class AdaptiveRetentionResult:
             "anchor_gain": self.anchor_gain(),
             "anchor_identical": self.anchor_identical,
             "gain": {r: [self.gain(r, i) for i in range(len(self.scales))]
-                     for r in ("adaptive", "static")},
+                     for r in GAIN_RUNTIMES},
             "retention": {r: [self.retention(r, i)
                               for i in range(len(self.scales))]
-                          for r in ("adaptive", "static")},
+                          for r in GAIN_RUNTIMES},
             "replan": [dict(h) for h in self.replan],
             "fault_totals": list(self.fault_totals),
         }
@@ -308,6 +324,18 @@ def run_adaptive_retention(platform_name: str = "tx2",
                               metrics=MetricsRegistry()),
             resilient=True)
 
+    # One family spanning both batches of the flow.  Its build-batch
+    # member is computed by the same ``analytic_plan`` call as
+    # ``build_plan``, which is what makes the anchor flow byte-identical
+    # to the static runtime.
+    family = build_plan_family(
+        evaluator, graph,
+        batch_grid=sorted({drift_batch, build_batch}),
+        latency_slack=latency_slack, block_size=block_size)
+
+    def family_gov() -> PlanFamilyGovernor:
+        return PlanFamilyGovernor([family], resilient=True)
+
     result = AdaptiveRetentionResult(platform=platform.name,
                                      graph_name=graph.name,
                                      build_batch=build_batch,
@@ -320,12 +348,16 @@ def run_adaptive_retention(platform_name: str = "tx2",
     anchor_adaptive_ee, adaptive_sigs, _ = _run_flow(
         platform, graph, anchor_flow, adaptive_gov(), None, seed,
         evaluator=evaluator, latency_slack=latency_slack)
+    anchor_family_ee, family_sigs, _ = _run_flow(
+        platform, graph, anchor_flow, family_gov(), None, seed)
     anchor_bim_ee, _, _ = _run_flow(
         platform, graph, anchor_flow, OndemandGovernor(), None, seed)
-    result.anchor_ee = {"adaptive": anchor_adaptive_ee,
+    result.anchor_ee = {"family": anchor_family_ee,
+                        "adaptive": anchor_adaptive_ee,
                         "static": anchor_static_ee,
                         "bim": anchor_bim_ee}
-    result.anchor_identical = static_sigs == adaptive_sigs
+    result.anchor_identical = (static_sigs == adaptive_sigs
+                               and static_sigs == family_sigs)
 
     # Size the representative profile's thermal window to the anchor
     # flow so the event stresses any (n_warm, n_drift) the same way.
@@ -339,7 +371,8 @@ def run_adaptive_retention(platform_name: str = "tx2",
         prof = profile.scaled(scale)
         prof = None if prof.is_zero else prof
         gov_ad = adaptive_gov()
-        runtimes = {"adaptive": gov_ad,
+        runtimes = {"family": family_gov(),
+                    "adaptive": gov_ad,
                     "static": static_gov(),
                     "bim": OndemandGovernor()}
         fault_total = 0

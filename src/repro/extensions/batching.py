@@ -42,14 +42,16 @@ class BatchChoice:
 
 def batch_sweep(platform: PlatformSpec, graph: Graph,
                 candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
-                latency_slack: float = 0.25) -> List[BatchChoice]:
+                latency_slack: float = 0.25,
+                sparsity: float = 0.0) -> List[BatchChoice]:
     """Evaluate every candidate batch size at its own optimal level."""
     evaluator = AnalyticEvaluator(platform)
     choices: List[BatchChoice] = []
     for batch in candidates:
         if batch < 1:
             raise ValueError("batch sizes must be positive")
-        profile = evaluator.graph_profile(graph, batch_size=batch)
+        profile = evaluator.graph_profile(graph, batch_size=batch,
+                                          sparsity=sparsity)
         level = evaluator.best_level(profile, latency_slack=latency_slack)
         energy = float(profile.energies[level])
         latency = float(profile.times[level])
@@ -66,11 +68,12 @@ def batch_sweep(platform: PlatformSpec, graph: Graph,
 def best_batch_size(platform: PlatformSpec, graph: Graph,
                     candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
                     latency_slack: float = 0.25,
-                    max_batch_latency: Optional[float] = None
-                    ) -> BatchChoice:
+                    max_batch_latency: Optional[float] = None,
+                    sparsity: float = 0.0) -> BatchChoice:
     """Highest-EE batch size, optionally under a per-batch latency cap
     (interactive serving keeps batches small; throughput jobs don't)."""
-    choices = batch_sweep(platform, graph, candidates, latency_slack)
+    choices = batch_sweep(platform, graph, candidates, latency_slack,
+                          sparsity)
     feasible = [c for c in choices
                 if max_batch_latency is None
                 or c.batch_latency <= max_batch_latency]
@@ -78,3 +81,77 @@ def best_batch_size(platform: PlatformSpec, graph: Graph,
         # Nothing fits the cap: fall back to the lowest-latency option.
         return min(choices, key=lambda c: c.batch_latency)
     return max(feasible, key=lambda c: c.energy_efficiency)
+
+
+def interpolate_choice(choices: Sequence[BatchChoice],
+                       batch_size: int) -> BatchChoice:
+    """Per-image cost estimate for a batch size between calibrated ones.
+
+    Dispatchers see batch sizes the sweep never ran.  Rather than
+    re-sweeping online, interpolate linearly between the two bracketing
+    calibrated choices on the per-image axes (energy, latency) and take
+    the frequency level from the *nearer* calibrated neighbor (levels
+    are discrete; ties go to the smaller batch).  Outside the
+    calibrated range the estimate clamps to the nearest endpoint —
+    extrapolating a linear trend past the largest measured batch
+    invents amortization that may not exist.
+
+    Deterministic and total for every ``batch_size >= 1``; an exact
+    calibrated hit returns that choice object unchanged.
+    """
+    if not choices:
+        raise ValueError("need at least one calibrated choice")
+    if batch_size < 1:
+        raise ValueError("batch sizes must be positive")
+    ordered = sorted(choices, key=lambda c: c.batch_size)
+    sizes = [c.batch_size for c in ordered]
+    if len(set(sizes)) != len(sizes):
+        raise ValueError("duplicate calibrated batch sizes")
+    batch = int(batch_size)
+    if batch <= sizes[0]:
+        lo = hi = ordered[0]
+    elif batch >= sizes[-1]:
+        lo = hi = ordered[-1]
+    else:
+        i = next(k for k in range(len(sizes) - 1)
+                 if sizes[k] <= batch < sizes[k + 1])
+        lo, hi = ordered[i], ordered[i + 1]
+    if batch == lo.batch_size:
+        return lo
+    frac = 0.0 if lo is hi else \
+        (batch - lo.batch_size) / (hi.batch_size - lo.batch_size)
+    energy = lo.energy_per_image + frac * (hi.energy_per_image
+                                           - lo.energy_per_image)
+    latency = lo.latency_per_image + frac * (hi.latency_per_image
+                                             - lo.latency_per_image)
+    level = lo.level if frac <= 0.5 else hi.level
+    return BatchChoice(
+        batch_size=batch,
+        level=level,
+        energy_per_image=energy,
+        latency_per_image=latency,
+        batch_latency=latency * batch,
+    )
+
+
+def family_batch_grid(platform: PlatformSpec, graph: Graph,
+                      candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+                      latency_slack: float = 0.25,
+                      sparsity: float = 0.0) -> List[int]:
+    """Batch grid for a plan family: candidate batch sizes whose
+    *whole-graph* optimal level differs from the previous candidate's.
+
+    Consecutive candidates that agree on the optimal level would yield
+    near-identical family members; collapsing them keeps the family —
+    and its per-member validation-cache footprint — small.  The first
+    candidate is always kept so the family covers the space."""
+    choices = batch_sweep(platform, graph, candidates, latency_slack,
+                          sparsity)
+    choices.sort(key=lambda c: c.batch_size)
+    grid: List[int] = []
+    prev_level: Optional[int] = None
+    for choice in choices:
+        if prev_level is None or choice.level != prev_level:
+            grid.append(choice.batch_size)
+        prev_level = choice.level
+    return grid

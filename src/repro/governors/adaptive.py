@@ -69,6 +69,9 @@ class ReplanHealth:
     frozen_skips: int = 0
     #: Individual block levels changed across all adopted corrections.
     nudged_blocks: int = 0
+    #: Verdicts evicted from the preset validation cache (plan families
+    #: mint one fingerprint per member and can churn a small cache).
+    validation_evictions: int = 0
 
     @property
     def active(self) -> bool:
@@ -85,6 +88,7 @@ class ReplanHealth:
             "rollbacks": self.rollbacks,
             "frozen_skips": self.frozen_skips,
             "nudged_blocks": self.nudged_blocks,
+            "validation_evictions": self.validation_evictions,
         }
 
     def report(self) -> str:
@@ -98,6 +102,7 @@ class _Trial:
     previous: FrequencyPlan          # last-good plan to roll back to
     baseline_ee: float               # measured EE of the pre-swap job
     batch_size: int                  # batch the baseline was measured at
+    sparsity: float = 0.0            # sparsity of the baseline job
 
 
 class AdaptivePresetGovernor(PresetGovernor):
@@ -176,18 +181,25 @@ class AdaptivePresetGovernor(PresetGovernor):
         self.obs.tracer.record("replan", 0.0, action=action,
                                graph=graph_name, **attrs)
 
+    def _note_validation_eviction(self) -> None:
+        self.replan_health.validation_evictions += 1
+        self._replan_count("validation_evictions")
+
     # ------------------------------------------------------------------
     # the between-jobs feedback entry point
     # ------------------------------------------------------------------
     def observe_job(self, graph, batch_size: int, ledger,
-                    new_anomalies: int = 0) -> str:
+                    new_anomalies: int = 0,
+                    sparsity: float = 0.0) -> str:
         """Feed one finished job's ledger back into the planner.
 
         ``ledger`` must be an :class:`~repro.obs.ledger.EnergyLedger`
         built from the job's trace **with this governor's plan and an
-        evaluator attached** (so misprediction flags are populated).
-        Returns the action taken: ``"frozen"``, ``"rollback"``,
-        ``"none"``, ``"reject"`` or ``"adopt"``.
+        evaluator attached** (so misprediction flags are populated) —
+        and, for sparse jobs, with the job's ``sparsity`` so the sweep
+        ran against the workload actually executed.  Returns the action
+        taken: ``"frozen"``, ``"rollback"``, ``"none"``, ``"reject"``
+        or ``"adopt"``.
         """
         name = graph.name
         if self._freeze.get(name, 0) > 0:
@@ -203,7 +215,8 @@ class AdaptivePresetGovernor(PresetGovernor):
         # -- verify-after-swap: judge the pending trial, if any ---------
         trial = self._trial.pop(name, None)
         if trial is not None and measured_ee is not None \
-                and trial.batch_size == int(batch_size):
+                and trial.batch_size == int(batch_size) \
+                and trial.sparsity == float(sparsity):
             floor = trial.baseline_ee * (1.0 - self.regression_tolerance)
             if measured_ee < floor:
                 self.add_plan(trial.previous)
@@ -236,7 +249,8 @@ class AdaptivePresetGovernor(PresetGovernor):
         self.replan_health.proposed += 1
         self._replan_count("proposed")
 
-        verdict = self._rescore(graph, batch_size, plan, candidate)
+        verdict = self._rescore(graph, batch_size, plan, candidate,
+                                sparsity)
         if not verdict:
             self._freeze[name] = self.cooldown_jobs
             self.replan_health.rejected += 1
@@ -248,7 +262,8 @@ class AdaptivePresetGovernor(PresetGovernor):
                         if a.level != b.level)
         self._trial[name] = _Trial(previous=plan,
                                    baseline_ee=measured_ee,
-                                   batch_size=int(batch_size))
+                                   batch_size=int(batch_size),
+                                   sparsity=float(sparsity))
         self.add_plan(candidate)
         self.replan_health.adopted += 1
         self.replan_health.nudged_blocks += n_changed
@@ -288,10 +303,12 @@ class AdaptivePresetGovernor(PresetGovernor):
                              graph_fingerprint=plan.graph_fingerprint)
 
     def _rescore(self, graph, batch_size: int, plan: FrequencyPlan,
-                 candidate: FrequencyPlan) -> bool:
+                 candidate: FrequencyPlan,
+                 sparsity: float = 0.0) -> bool:
         """Analytic gate: the candidate must beat the current plan on
         energy without blowing the latency guard."""
-        table = self.evaluator.profile_table(graph, int(batch_size))
+        table = self.evaluator.profile_table(graph, int(batch_size),
+                                             float(sparsity))
         starts = [s.op_index for s in plan.steps] + [table.n_ops]
         blocks = [list(range(starts[i], starts[i + 1]))
                   for i in range(len(plan.steps))]

@@ -203,6 +203,15 @@ class PresetGovernor(Governor):
     safe_level:
         Static level for abandoned-plan jobs; default is the plan's
         median level.
+    validation_cache_size:
+        Bound on the job-start validation-verdict cache (FIFO).  The
+        default (256) suits a handful of plans per graph; plan
+        *families* sharing one graph mint a fingerprint per member and
+        can thrash a small cache, so family runtimes size it to the
+        family.  Evictions are counted in ``validation_evictions``
+        (and mirrored into
+        :class:`~repro.governors.adaptive.ReplanHealth` by the
+        adaptive governor).
     """
 
     name = "powerlens"
@@ -214,12 +223,18 @@ class PresetGovernor(Governor):
                  max_retries: int = 2,
                  max_block_failures: int = 3,
                  safe_level: Optional[int] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 validation_cache_size: Optional[int] = None) -> None:
         super().__init__()
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if max_block_failures < 1:
             raise ValueError("max_block_failures must be >= 1")
+        if validation_cache_size is not None:
+            if validation_cache_size < 1:
+                raise ValueError("validation_cache_size must be >= 1")
+            # Instance attribute shadows the class-level default.
+            self._VALIDATION_CACHE_SIZE = int(validation_cache_size)
         self.name = name
         self.resilient = resilient
         self.max_retries = max_retries
@@ -240,6 +255,9 @@ class PresetGovernor(Governor):
         # graph's node list every job (bounded FIFO — the adaptive
         # replanner mints new plan fingerprints over time).
         self._validation_cache: Dict[Tuple[str, str], bool] = {}
+        #: Verdicts evicted from the bounded validation cache
+        #: (cumulative — the cache itself survives reset()).
+        self.validation_evictions = 0
         self._active: Optional[FrequencyPlan] = None
         self._pending: Dict[int, int] = {}
         self._pinned: Dict[int, int] = {}
@@ -255,6 +273,10 @@ class PresetGovernor(Governor):
         """Mirror one RuntimeHealth increment into the metrics registry
         (no-op on the default disabled registry)."""
         self.metrics.counter(f"powerlens_runtime_{event}_total").inc(n)
+
+    def _note_validation_eviction(self) -> None:
+        """Hook for subclasses that mirror eviction counts elsewhere
+        (the adaptive governor folds them into ReplanHealth)."""
 
     def plan_for(self, graph_name: str) -> Optional[FrequencyPlan]:
         return self._plans.get(graph_name)
@@ -341,6 +363,9 @@ class PresetGovernor(Governor):
                     self._VALIDATION_CACHE_SIZE:
                 self._validation_cache.pop(
                     next(iter(self._validation_cache)))
+                self.validation_evictions += 1
+                self._count("validation_evictions")
+                self._note_validation_eviction()
         if not verdict:
             if name not in self._rejected_names:
                 self._rejected_names.add(name)

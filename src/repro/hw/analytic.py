@@ -32,11 +32,12 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph import Graph
-from repro.hw.perf import LatencyModel, OpWork
+from repro.hw.perf import LatencyModel, OpWork, sparse_works
 from repro.hw.platform import PlatformSpec
 from repro.hw.power import PowerModel
 
-#: Bounded size of the per-(fingerprint, batch) profile-table LRU.
+#: Bounded size of the per-(fingerprint, batch, sparsity) profile-table
+#: LRU.
 PROFILE_TABLE_CACHE_SIZE = 8
 
 
@@ -199,18 +200,24 @@ class AnalyticEvaluator:
         self.overhead_power = (
             platform.board_power + self.power.cpu_idle(cpu_fmin)
         )
-        self._table_cache: "OrderedDict[Tuple[str, int], ProfileTable]" \
+        self._table_cache: \
+            "OrderedDict[Tuple[str, int, float], ProfileTable]" \
             = OrderedDict()
 
     # ------------------------------------------------------------------
     def profile(self, works: Sequence[OpWork],
-                batch_size: int = 1) -> LevelProfile:
+                batch_size: int = 1,
+                sparsity: float = 0.0) -> LevelProfile:
         """Time and platform energy of ``works`` at every level.
 
         This per-op loop is the reference semantics every fast path must
         reproduce bit for bit; :meth:`profile_table` is the vectorized
-        equivalent for repeated queries against one graph.
+        equivalent for repeated queries against one graph.  ``sparsity``
+        rescales sparsity-sensitive ops via
+        :func:`repro.hw.perf.sparse_works` *before* the loop, so the
+        loop/table bit-identity contract holds at every sparsity.
         """
+        works = sparse_works(works, sparsity)
         p = self.platform
         n_levels = p.n_levels
         times = np.zeros(n_levels)
@@ -276,16 +283,19 @@ class AnalyticEvaluator:
         return ProfileTable(self, dur, op_energies)
 
     def profile_table(self, graph: Graph,
-                      batch_size: int = 1) -> ProfileTable:
+                      batch_size: int = 1,
+                      sparsity: float = 0.0) -> ProfileTable:
         """Per-op level-profile table of ``graph``, built once per
-        ``(graph fingerprint, batch_size)`` and kept in a bounded LRU."""
-        key = (graph.fingerprint(), int(batch_size))
+        ``(graph fingerprint, batch_size, sparsity)`` and kept in a
+        bounded LRU."""
+        key = (graph.fingerprint(), int(batch_size), float(sparsity))
         table = self._table_cache.get(key)
         if table is not None:
             self._table_cache.move_to_end(key)
             return table
         table = self._build_profile_table(
-            self.latency.graph_work(graph), batch_size)
+            sparse_works(self.latency.graph_work(graph), sparsity),
+            batch_size)
         self._table_cache[key] = table
         while len(self._table_cache) > PROFILE_TABLE_CACHE_SIZE:
             self._table_cache.popitem(last=False)
@@ -293,23 +303,32 @@ class AnalyticEvaluator:
 
     # ------------------------------------------------------------------
     def graph_profile(self, graph: Graph,
-                      batch_size: int = 1) -> LevelProfile:
+                      batch_size: int = 1,
+                      sparsity: float = 0.0) -> LevelProfile:
         """Whole-graph fixed-level profile."""
-        return self.profile_table(graph, batch_size).graph_profile()
+        return self.profile_table(graph, batch_size,
+                                  sparsity).graph_profile()
 
     def block_profile(self, graph: Graph, op_indices: Sequence[int],
-                      batch_size: int = 1) -> LevelProfile:
+                      batch_size: int = 1,
+                      sparsity: float = 0.0) -> LevelProfile:
         """Fixed-level profile of a subset of compute nodes."""
-        return self.profile_table(graph, batch_size).block_profile(
-            op_indices)
+        return self.profile_table(graph, batch_size,
+                                  sparsity).block_profile(op_indices)
 
     def block_profile_reference(self, graph: Graph,
                                 op_indices: Sequence[int],
-                                batch_size: int = 1) -> LevelProfile:
+                                batch_size: int = 1,
+                                sparsity: float = 0.0) -> LevelProfile:
         """Reference per-op-loop implementation of :meth:`block_profile`
-        (retained for the equivalence suite and benchmark baseline)."""
+        (retained for the equivalence suite and benchmark baseline).
+
+        Sparsity is applied per op, so subsetting before or after the
+        rescale is the same arithmetic — the table path rescales the
+        whole graph first, this path rescales the subset."""
         works = self.latency.graph_work(graph)
-        return self.profile([works[i] for i in op_indices], batch_size)
+        return self.profile([works[i] for i in op_indices], batch_size,
+                            sparsity)
 
     # ------------------------------------------------------------------
     def best_level(self, profile: LevelProfile,
@@ -347,25 +366,29 @@ class AnalyticEvaluator:
     def best_level_for_block(self, graph: Graph,
                              op_indices: Sequence[int],
                              batch_size: int = 1,
-                             latency_slack: float = 0.25) -> int:
+                             latency_slack: float = 0.25,
+                             sparsity: float = 0.0) -> int:
         """Exhaustive-sweep optimal level for one block (the labeling
         rule of Dataset B)."""
-        return self.profile_table(graph, batch_size).best_level_for_block(
+        return self.profile_table(
+            graph, batch_size, sparsity).best_level_for_block(
             op_indices, latency_slack)
 
     def plan_energy_time(self, graph: Graph,
                          blocks: Sequence[Sequence[int]],
                          levels: Sequence[int],
-                         batch_size: int = 1) -> Tuple[float, float]:
+                         batch_size: int = 1,
+                         sparsity: float = 0.0) -> Tuple[float, float]:
         """Analytic energy/time of running each block at its own level,
         including per-boundary switch stalls."""
-        return self.profile_table(graph, batch_size).plan_energy_time(
-            blocks, levels)
+        return self.profile_table(
+            graph, batch_size, sparsity).plan_energy_time(blocks, levels)
 
     def plan_energy_time_reference(
             self, graph: Graph, blocks: Sequence[Sequence[int]],
             levels: Sequence[int],
-            batch_size: int = 1) -> Tuple[float, float]:
+            batch_size: int = 1,
+            sparsity: float = 0.0) -> Tuple[float, float]:
         """Reference loop implementation of :meth:`plan_energy_time`
         (retained for the equivalence suite and benchmark baseline)."""
         if len(blocks) != len(levels):
@@ -375,7 +398,7 @@ class AnalyticEvaluator:
         prev_level: Optional[int] = None
         for block, level in zip(blocks, levels):
             profile = self.block_profile_reference(graph, block,
-                                                   batch_size)
+                                                   batch_size, sparsity)
             total_e += float(profile.energies[level])
             total_t += float(profile.times[level])
             if prev_level is not None and level != prev_level:

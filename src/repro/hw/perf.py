@@ -27,6 +27,45 @@ from repro.hw.platform import PlatformSpec
 #: Bounded size of the per-fingerprint graph-work LRU.
 WORK_CACHE_SIZE = 64
 
+#: Operator categories whose work shrinks with activation sparsity:
+#: zero activations let the MAC arrays skip multiplies and compress the
+#: activation traffic (the SparseDVFS observation).  Everything else —
+#: normalization, pooling, reshapes — walks its tensors regardless.
+SPARSITY_COMPUTE_CATEGORIES = frozenset(
+    {"conv", "dwconv", "linear", "attention"})
+
+#: Fraction of a sparsity-sensitive op's memory traffic that scales
+#: with sparsity: weights still stream at full width, activations
+#: compress, so bytes shrink half as fast as FLOPs.
+SPARSITY_MEM_FRACTION = 0.5
+
+
+def sparse_works(works: Sequence["OpWork"],
+                 sparsity: float) -> Sequence["OpWork"]:
+    """``works`` rescaled for an activation-sparsity fraction.
+
+    Sparsity-sensitive categories (:data:`SPARSITY_COMPUTE_CATEGORIES`)
+    get ``flops * (1 - s)`` and ``mem_bytes * (1 - 0.5 s)``; all other
+    ops pass through untouched.  ``sparsity == 0.0`` returns the input
+    sequence **unchanged and by identity**, so every pre-sparsity call
+    site keeps its exact arithmetic (and cache hits) bit for bit.
+    """
+    s = float(sparsity)
+    if not 0.0 <= s < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    if s == 0.0:
+        return works
+    out: List[OpWork] = []
+    for w in works:
+        if w.category in SPARSITY_COMPUTE_CATEGORIES:
+            out.append(OpWork(
+                w.name, w.category,
+                w.flops * (1.0 - s),
+                w.mem_bytes * (1.0 - SPARSITY_MEM_FRACTION * s)))
+        else:
+            out.append(w)
+    return out
+
 
 @dataclass(frozen=True)
 class OpWork:

@@ -40,7 +40,7 @@ from repro.hw.faults import (
     FaultProfile,
     FaultStats,
 )
-from repro.hw.perf import LatencyModel, OpWork
+from repro.hw.perf import LatencyModel, OpWork, sparse_works
 from repro.hw.platform import PlatformSpec
 from repro.hw.power import PowerModel
 from repro.hw.thermal import ThermalConfig, ThermalState
@@ -69,13 +69,24 @@ MAX_ACTUATIONS_PER_POINT = 8
 @dataclass(frozen=True)
 class InferenceJob:
     """One inference task: ``n_batches`` batches of ``batch_size`` images
-    through ``graph``, each preceded by CPU preprocessing."""
+    through ``graph``, each preceded by CPU preprocessing.
+
+    ``sparsity`` is the job's activation-sparsity fraction; sparsity-
+    sensitive operators shrink per :func:`repro.hw.perf.sparse_works`.
+    The default ``0.0`` leaves every workload byte-identical to the
+    pre-sparsity simulator.
+    """
 
     graph: Graph
     batch_size: int = 16
     n_batches: int = 1
     cpu_work_per_image: float = 1.2e8
     name: str = ""
+    sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
 
     @property
     def images(self) -> int:
@@ -264,12 +275,18 @@ class InferenceSimulator:
                 self._apply_switch(state, level)
             if static_fast:
                 fp = job.graph.fingerprint()
+                # Sparse jobs get their own cache identity: the rescaled
+                # works differ per sparsity, and zero-sparsity keys keep
+                # their original shape so warm fleet caches stay valid.
+                if job.sparsity > 0.0:
+                    fp = f"{fp}/s={job.sparsity!r}"
                 # The op walk is pure in the graph, so a shared row
                 # cache may also carry it across simulator instances
                 # (fleet builds a fresh simulator per dispatch).
                 works = self._op_row_cache.get(("works", fp))
                 if works is None:
-                    works = self.latency.graph_work(job.graph)
+                    works = sparse_works(
+                        self.latency.graph_work(job.graph), job.sparsity)
                     self._op_row_cache[("works", fp)] = works
                 for _batch in range(job.n_batches):
                     self._run_cpu_phase_static(state, governor, job,
@@ -277,7 +294,8 @@ class InferenceSimulator:
                     self._run_gpu_phase_static(state, governor, job,
                                                job_idx, fp, works, samples)
             else:
-                works = self.latency.graph_work(job.graph)
+                works = sparse_works(self.latency.graph_work(job.graph),
+                                     job.sparsity)
                 for _batch in range(job.n_batches):
                     self._run_cpu_phase(state, governor, job, samples)
                     self._run_gpu_phase(state, governor, job, job_idx,

@@ -175,8 +175,8 @@ class EnergyLedger:
                     evaluator: Optional["AnalyticEvaluator"] = None,
                     batch_size: int = 16,
                     latency_slack: float = 0.25,
-                    misprediction_margin: float = 0.005
-                    ) -> "EnergyLedger":
+                    misprediction_margin: float = 0.005,
+                    sparsity: float = 0.0) -> "EnergyLedger":
         """Attribute ``result``'s trace.
 
         ``plan`` partitions operators into power blocks (without one the
@@ -184,7 +184,9 @@ class EnergyLedger:
         additionally enable the planned-vs-optimal sweep; a block is
         flagged mispredicted when some other level's analytic energy
         beats the planned level's by more than
-        ``misprediction_margin`` (relative).
+        ``misprediction_margin`` (relative).  ``sparsity`` must match
+        the job's activation sparsity so the sweep runs against the
+        workload the trace actually executed.
         """
         trace = result.trace
         if not trace.keep_segments or (trace.total_time > 0
@@ -266,7 +268,7 @@ class EnergyLedger:
         if graph is not None and evaluator is not None:
             ledger._analyze_mispredictions(
                 graph, evaluator, batch_size, latency_slack,
-                misprediction_margin)
+                misprediction_margin, sparsity)
         return ledger
 
     @staticmethod
@@ -288,8 +290,9 @@ class EnergyLedger:
         return starts, levels, max(n_ops, starts[-1] + 1)
 
     def _analyze_mispredictions(self, graph, evaluator, batch_size,
-                                latency_slack, margin) -> None:
-        table = evaluator.profile_table(graph, batch_size)
+                                latency_slack, margin,
+                                sparsity: float = 0.0) -> None:
+        table = evaluator.profile_table(graph, batch_size, sparsity)
         for row in self.blocks:
             ops = list(range(row.op_start, min(row.op_stop, table.n_ops)))
             if not ops:

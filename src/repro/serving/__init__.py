@@ -41,6 +41,7 @@ from repro.serving.fleet import (
     Fleet,
     PlanCache,
     RecoveryConfig,
+    FAMILY_GOVERNORS,
     SERVING_GOVERNORS,
     SimulatedDevice,
     analytic_plan,
@@ -72,7 +73,8 @@ __all__ = [
     "ArrivalTrace", "Request", "TRACE_KINDS", "bursty_trace",
     "make_trace", "poisson_trace",
     "DeviceConfig", "DispatchRecord", "Fleet", "PlanCache",
-    "RecoveryConfig", "SERVING_GOVERNORS", "SimulatedDevice",
+    "RecoveryConfig", "FAMILY_GOVERNORS", "SERVING_GOVERNORS",
+    "SimulatedDevice",
     "analytic_plan", "derive_seed", "plan_cache_key",
     "DeadlinePolicy", "EnergyAwarePolicy", "FifoPolicy",
     "POLICY_REGISTRY", "QueuePolicy", "make_policy",

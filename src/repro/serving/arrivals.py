@@ -42,9 +42,12 @@ class Request:
     """One inference request presented to the fleet.
 
     ``images`` is the number of inputs in the request (one simulator
-    batch); requests for the same ``(model, images)`` pair may be
-    coalesced into a single multi-batch :class:`~repro.hw.simulator.\
-    InferenceJob` by the queueing policy.  ``slo_latency_s`` is the
+    batch); requests for the same ``(model, images, sparsity)`` triple
+    may be coalesced into a single multi-batch
+    :class:`~repro.hw.simulator.InferenceJob` by the queueing policy.
+    ``sparsity`` is the request's observed activation sparsity in
+    ``[0, 1)`` (0.0 — the default — is dense and reproduces the
+    pre-sparsity traces byte-for-byte).  ``slo_latency_s`` is the
     *relative* latency objective; ``math.inf`` means best-effort.
     """
 
@@ -53,6 +56,7 @@ class Request:
     model: str
     images: int = 8
     slo_latency_s: float = math.inf
+    sparsity: float = 0.0
 
     def __post_init__(self) -> None:
         if self.t_arrival < 0:
@@ -61,6 +65,8 @@ class Request:
             raise ValueError("a request needs at least one image")
         if self.slo_latency_s <= 0:
             raise ValueError("slo_latency_s must be positive")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
 
     @property
     def deadline(self) -> float:
@@ -68,9 +74,9 @@ class Request:
         return self.t_arrival + self.slo_latency_s
 
     @property
-    def batch_key(self) -> Tuple[str, int]:
+    def batch_key(self) -> Tuple[str, int, float]:
         """Requests sharing this key can ride one inference job."""
-        return (self.model, self.images)
+        return (self.model, self.images, self.sparsity)
 
 
 @dataclass(frozen=True)
@@ -133,11 +139,31 @@ def _draw_models(rng: random.Random, models: Sequence[str],
     return [rng.choice(list(models)) for _ in range(n)]
 
 
+def _draw_sparsities(kind: str, seed: int,
+                     choices: Optional[Sequence[float]],
+                     n: int) -> List[float]:
+    """Per-request sparsity draws from a dedicated named stream.
+
+    The stream is only *created* when ``choices`` is given, so traces
+    generated without sparsity stay byte-identical to the pre-sparsity
+    generators (no other stream's dice are re-rolled either way)."""
+    if choices is None:
+        return [0.0] * n
+    values = [float(s) for s in choices]
+    if not values:
+        raise ValueError("sparsity_choices cannot be empty")
+    if not all(0.0 <= s < 1.0 for s in values):
+        raise ValueError("sparsity choices must be in [0, 1)")
+    rng = random.Random(f"{seed}/{kind}/sparsity")
+    return [rng.choice(values) for _ in range(n)]
+
+
 def poisson_trace(rate_rps: float, duration_s: float,
                   models: Sequence[str], seed: int = 0,
                   images_per_request: int = 8,
                   slo_latency_s: float = math.inf,
-                  model_weights: Optional[Sequence[float]] = None
+                  model_weights: Optional[Sequence[float]] = None,
+                  sparsity_choices: Optional[Sequence[float]] = None
                   ) -> ArrivalTrace:
     """Homogeneous Poisson arrivals at ``rate_rps`` over ``duration_s``."""
     if rate_rps <= 0 or duration_s <= 0:
@@ -152,9 +178,12 @@ def poisson_trace(rate_rps: float, duration_s: float,
         times.append(t)
         t += rng_t.expovariate(rate_rps)
     names = _draw_models(rng_m, models, model_weights, len(times))
+    sparsities = _draw_sparsities("poisson", seed, sparsity_choices,
+                                  len(times))
     requests = tuple(
         Request(request_id=i, t_arrival=times[i], model=names[i],
-                images=images_per_request, slo_latency_s=slo_latency_s)
+                images=images_per_request, slo_latency_s=slo_latency_s,
+                sparsity=sparsities[i])
         for i in range(len(times)))
     return ArrivalTrace(kind="poisson", seed=seed, requests=requests,
                         duration_s=duration_s)
@@ -167,7 +196,8 @@ def bursty_trace(rate_rps: float, duration_s: float,
                  burst_factor: float = 8.0,
                  mean_calm_s: float = 1.0,
                  mean_burst_s: float = 0.25,
-                 model_weights: Optional[Sequence[float]] = None
+                 model_weights: Optional[Sequence[float]] = None,
+                 sparsity_choices: Optional[Sequence[float]] = None
                  ) -> ArrivalTrace:
     """Two-state MMPP: calm at ``rate_rps``, bursts at ``burst_factor``
     times that, with exponentially-distributed state holding times."""
@@ -201,9 +231,12 @@ def bursty_trace(rate_rps: float, duration_s: float,
         if t < duration_s:
             times.append(t)
     names = _draw_models(rng_m, models, model_weights, len(times))
+    sparsities = _draw_sparsities("bursty", seed, sparsity_choices,
+                                  len(times))
     requests = tuple(
         Request(request_id=i, t_arrival=times[i], model=names[i],
-                images=images_per_request, slo_latency_s=slo_latency_s)
+                images=images_per_request, slo_latency_s=slo_latency_s,
+                sparsity=sparsities[i])
         for i in range(len(times)))
     return ArrivalTrace(kind="bursty", seed=seed, requests=requests,
                         duration_s=duration_s)

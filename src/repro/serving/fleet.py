@@ -47,10 +47,10 @@ from repro.governors import (
     GOVERNOR_REGISTRY,
     AdaptivePresetGovernor,
     FrequencyPlan,
-    PlanStep,
     PresetGovernor,
     make_governor,
 )
+from repro.governors.family import analytic_plan
 from repro.hw.analytic import AnalyticEvaluator
 from repro.hw.faults import FaultProfile
 from repro.hw.platform import PlatformSpec, get_platform
@@ -63,16 +63,24 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = ["PLAN_CACHE_VERSION", "plan_cache_key", "analytic_plan",
            "PlanCache", "DeviceConfig", "DispatchRecord",
            "RecoveryConfig", "SimulatedDevice", "Fleet", "derive_seed",
-           "SERVING_GOVERNORS"]
+           "SERVING_GOVERNORS", "FAMILY_GOVERNORS"]
 
 #: Bump when the analytic planner's semantics change (invalidates keys).
-PLAN_CACHE_VERSION = 1
+#: v2: plan keys carry the activation-sparsity bucket the plan was
+#: built for (0.0 plans are numerically unchanged from v1).
+PLAN_CACHE_VERSION = 2
 
 #: Governor names the serving layer accepts: every registry governor
-#: plus the preset PowerLens runtime fed by the analytic planner and
-#: its self-healing variant (ledger-driven replanning between jobs).
+#: plus the preset PowerLens runtime fed by the analytic planner, its
+#: self-healing variant (ledger-driven replanning between jobs), and
+#: the input-aware family variants (per-device plan selection keyed by
+#: batch and activation-sparsity bucket).
 SERVING_GOVERNORS = tuple(sorted(GOVERNOR_REGISTRY)) \
-    + ("powerlens", "powerlens-adaptive")
+    + ("powerlens", "powerlens-adaptive",
+       "powerlens-family", "powerlens-family-adaptive")
+
+#: Serving governors that bucket jobs by activation sparsity.
+FAMILY_GOVERNORS = ("powerlens-family", "powerlens-family-adaptive")
 
 
 def derive_seed(*parts: object) -> int:
@@ -84,7 +92,7 @@ def derive_seed(*parts: object) -> int:
 
 def plan_cache_key(platform: PlatformSpec, graph: Graph,
                    batch_size: int, latency_slack: float,
-                   block_size: int) -> str:
+                   block_size: int, sparsity: float = 0.0) -> str:
     """Content hash of everything a device's frequency plan depends on
     (same recipe as :func:`repro.core.persistence.dataset_cache_key`)."""
     payload = {
@@ -94,33 +102,16 @@ def plan_cache_key(platform: PlatformSpec, graph: Graph,
         "batch_size": int(batch_size),
         "latency_slack": latency_slack,
         "block_size": int(block_size),
+        "sparsity": float(sparsity),
     }
     blob = json.dumps(payload, sort_keys=True, default=list)
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
-def analytic_plan(evaluator: AnalyticEvaluator, graph: Graph,
-                  batch_size: int, latency_slack: float = 0.25,
-                  block_size: int = 8) -> FrequencyPlan:
-    """Closed-form frequency plan: fixed-size operator blocks, each at
-    its exhaustive-sweep EE-optimal level.
-
-    This is the serving-time planner — the oracle labeling rule of
-    Dataset B applied per block, cheap enough (one
-    :class:`~repro.hw.analytic.ProfileTable` query per block) to run at
-    admission without a fitted lens.
-    """
-    if block_size < 1:
-        raise ValueError("block_size must be >= 1")
-    table = evaluator.profile_table(graph, batch_size)
-    steps = [
-        PlanStep(start, table.best_level_for_block(
-            range(start, min(start + block_size, table.n_ops)),
-            latency_slack))
-        for start in range(0, table.n_ops, block_size)
-    ]
-    return FrequencyPlan(graph_name=graph.name, steps=steps,
-                         graph_fingerprint=graph.fingerprint())
+# ``analytic_plan`` (the closed-form per-block planner) lives with the
+# plan-family machinery in :mod:`repro.governors.family` — it is the
+# family member builder — and is re-exported here (``__all__``) because
+# the serving layer is its historical home.
 
 
 class PlanCache:
@@ -143,13 +134,15 @@ class PlanCache:
         self._plans: Dict[str, FrequencyPlan] = {}
         self._lock = threading.Lock()
 
-    def key_for(self, graph: Graph, batch_size: int) -> str:
+    def key_for(self, graph: Graph, batch_size: int,
+                sparsity: float = 0.0) -> str:
         return plan_cache_key(self.evaluator.platform, graph, batch_size,
-                              self.latency_slack, self.block_size)
+                              self.latency_slack, self.block_size,
+                              sparsity)
 
-    def get_or_build(self, graph: Graph,
-                     batch_size: int) -> FrequencyPlan:
-        key = self.key_for(graph, batch_size)
+    def get_or_build(self, graph: Graph, batch_size: int,
+                     sparsity: float = 0.0) -> FrequencyPlan:
+        key = self.key_for(graph, batch_size, sparsity)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -157,7 +150,8 @@ class PlanCache:
                 return plan
             self.misses += 1
             plan = analytic_plan(self.evaluator, graph, batch_size,
-                                 self.latency_slack, self.block_size)
+                                 self.latency_slack, self.block_size,
+                                 sparsity=sparsity)
             self._plans[key] = plan
             return plan
 
@@ -245,7 +239,8 @@ class SimulatedDevice:
                  faults: Optional[FaultProfile] = None,
                  anomaly_config: Optional[AnomalyConfig] = None,
                  latency_slack: float = 0.25, block_size: int = 8,
-                 unhealthy_after: int = 1) -> None:
+                 unhealthy_after: int = 1,
+                 sparsity_edges: Sequence[float] = (0.0,)) -> None:
         if governor not in SERVING_GOVERNORS:
             raise KeyError(
                 f"unknown serving governor {governor!r}; choose from "
@@ -260,6 +255,23 @@ class SimulatedDevice:
         self.faults = faults if faults is not None and not faults.is_zero \
             else None
         self.unhealthy_after = unhealthy_after
+        # Family mode: plans are additionally keyed by the activation
+        # sparsity *bucket* of each job.  ``sparsity_edges`` are the
+        # bucket lower edges (sorted, each edge doubling as the
+        # representative sparsity its plans are built at); non-family
+        # governors keep the single dense bucket so every key, plan and
+        # event they produce stays byte-identical to the pre-family
+        # serving layer.
+        self.family_enabled = governor in FAMILY_GOVERNORS
+        edges = tuple(sorted({float(s) for s in sparsity_edges}))
+        if not edges:
+            raise ValueError("at least one sparsity edge required")
+        if not all(0.0 <= s < 1.0 for s in edges):
+            raise ValueError("sparsity edges must be in [0, 1)")
+        if edges[0] != 0.0:
+            # Totality: jobs below the first edge must land somewhere.
+            edges = (0.0,) + edges
+        self.sparsity_edges = edges if self.family_enabled else (0.0,)
         self.evaluator = AnalyticEvaluator(self.platform)
         self.plan_cache = PlanCache(self.evaluator, latency_slack,
                                     block_size)
@@ -275,18 +287,26 @@ class SimulatedDevice:
         # their timing/power tables (values are byte-identical either
         # way; see repro.hw.analytic.simulator_op_rows).
         self._op_row_cache: dict = {}
-        if governor == "powerlens":
-            self._governor = PresetGovernor([], metrics=self.obs.metrics)
-        elif governor == "powerlens-adaptive":
+        if governor in ("powerlens", "powerlens-family"):
+            # Family mode reuses the preset runtime: the per-dispatch
+            # plan *selection* below (plan cache + overlay keyed by
+            # sparsity bucket) is the family; the runtime only ever
+            # sees the selected member.
+            self._governor = PresetGovernor([], name=governor,
+                                            metrics=self.obs.metrics)
+        elif governor in ("powerlens-adaptive",
+                          "powerlens-family-adaptive"):
             self._governor = AdaptivePresetGovernor(
                 [], self.evaluator, latency_slack=latency_slack,
-                obs=self.obs)
+                obs=self.obs, name=governor)
         else:
             self._governor = make_governor(governor)
-        # Adopted corrections per (graph fingerprint, batch): the
-        # adaptive loop's plans survive across dispatches without
-        # polluting the content-hash plan cache.
-        self._plan_overlay: Dict[Tuple[str, int], FrequencyPlan] = {}
+        # Adopted corrections per (graph fingerprint, batch, sparsity
+        # bucket): the adaptive loop's plans survive across dispatches
+        # without polluting the content-hash plan cache, and nudges
+        # never leak across family members.
+        self._plan_overlay: Dict[Tuple[str, int, float],
+                                 FrequencyPlan] = {}
         # -- scheduler-visible state --------------------------------------
         self.busy = False
         self.drained = False
@@ -311,8 +331,19 @@ class SimulatedDevice:
     # ------------------------------------------------------------------
     # planning / prediction
     # ------------------------------------------------------------------
-    def plan_for(self, graph: Graph, batch_size: int) -> FrequencyPlan:
-        return self.plan_cache.get_or_build(graph, batch_size)
+    def sparsity_bucket(self, sparsity: float) -> float:
+        """Representative sparsity the plans for ``sparsity`` are built
+        at: the largest configured edge not exceeding it (bisect —
+        deterministic and total; always 0.0 for non-family governors)."""
+        from bisect import bisect_right
+
+        edges = self.sparsity_edges
+        return edges[max(0, bisect_right(edges, float(sparsity)) - 1)]
+
+    def plan_for(self, graph: Graph, batch_size: int,
+                 sparsity: float = 0.0) -> FrequencyPlan:
+        return self.plan_cache.get_or_build(
+            graph, batch_size, self.sparsity_bucket(sparsity))
 
     def prewarm(self, graphs: Sequence[Graph], batch_sizes:
                 Sequence[int]) -> None:
@@ -320,13 +351,19 @@ class SimulatedDevice:
         safe to run from a thread pool)."""
         for graph in graphs:
             for batch in batch_sizes:
-                self.plan_cache.get_or_build(graph, batch)
+                for edge in self.sparsity_edges:
+                    self.plan_cache.get_or_build(graph, batch, edge)
                 self.predict(graph, batch)
 
     def predict(self, graph: Graph,
                 batch_size: int) -> Tuple[float, float]:
         """(seconds, joules) for ONE batch of ``graph`` on this device,
-        from the analytic plan — the scheduler's routing cost model."""
+        from the analytic plan — the scheduler's routing cost model.
+
+        Deliberately dense (sparsity 0.0) even in family mode: routing
+        compares devices against each other, and the dense table ranks
+        them the same while keeping predictions — and therefore routing
+        and the event log — independent of the configured bucket grid."""
         key = (graph.fingerprint(), int(batch_size))
         cached = self._predictions.get(key)
         if cached is not None:
@@ -419,11 +456,14 @@ class SimulatedDevice:
             faults = replace(self.faults, seed=derive_seed(
                 self.fleet_seed, self.name, dispatch_seq, "faults"))
         plan = None
-        overlay_key = (job.graph.fingerprint(), int(job.batch_size))
+        sbucket = self.sparsity_bucket(job.sparsity)
+        overlay_key = (job.graph.fingerprint(), int(job.batch_size),
+                       sbucket)
         if isinstance(self._governor, PresetGovernor):
             plan = self._plan_overlay.get(overlay_key)
             if plan is None:
-                plan = self.plan_for(job.graph, job.batch_size)
+                plan = self.plan_for(job.graph, job.batch_size,
+                                     sbucket)
             self._governor.add_plan(plan)
         sim = InferenceSimulator(
             self.platform,
@@ -449,10 +489,12 @@ class SimulatedDevice:
                 result, plan=plan, graph=job.graph,
                 evaluator=self.evaluator,
                 batch_size=job.batch_size,
-                latency_slack=self.plan_cache.latency_slack)
+                latency_slack=self.plan_cache.latency_slack,
+                sparsity=job.sparsity)
             replan_action = self._governor.observe_job(
                 job.graph, job.batch_size, ledger,
-                new_anomalies=new_anomalies)
+                new_anomalies=new_anomalies,
+                sparsity=job.sparsity)
             current = self._governor.plan_for(job.graph.name)
             if current is not None and current is not plan:
                 self._plan_overlay[overlay_key] = current
@@ -497,11 +539,12 @@ class Fleet:
               faults: Optional[FaultProfile] = None,
               anomaly_config: Optional[AnomalyConfig] = None,
               latency_slack: float = 0.25, block_size: int = 8,
-              unhealthy_after: int = 1) -> "Fleet":
+              unhealthy_after: int = 1,
+              sparsity_edges: Sequence[float] = (0.0,)) -> "Fleet":
         return cls([
             SimulatedDevice(cfg, governor, fleet_seed, faults,
                             anomaly_config, latency_slack, block_size,
-                            unhealthy_after)
+                            unhealthy_after, sparsity_edges)
             for cfg in configs
         ])
 

@@ -311,6 +311,7 @@ class FleetScheduler:
                     images_per_request=batch[0].images,
                     cpu_work_per_image=cfg.cpu_work_per_image,
                     first_request_id=batch[0].request_id,
+                    sparsity=batch[0].sparsity,
                 )
                 record = device.execute(job, dispatch_seq)
                 device.busy = True
@@ -318,11 +319,15 @@ class FleetScheduler:
                 dispatches.append(record)
                 m_jobs.inc()
                 t_done = t + record.duration_s
+                # Dense traces omit the sparsity field entirely so their
+                # event logs stay byte-identical to pre-sparsity runs.
+                sparse_fields = ({"sparsity": batch[0].sparsity}
+                                 if batch[0].sparsity > 0.0 else {})
                 emit(t, "dispatch", device=device.name,
                      model=batch[0].model, images=batch[0].images,
                      n_requests=len(batch),
                      request_ids=[r.request_id for r in batch],
-                     predicted_done=t_done)
+                     predicted_done=t_done, **sparse_fields)
                 heapq.heappush(heap, (t_done, _PRIO_COMPLETE, heap_seq,
                                       "complete",
                                       (device, batch, record, t)))

@@ -58,13 +58,14 @@ def make_model_job(graph: Graph, n_runs: int = 50,
 def make_request_job(graph: Graph, n_requests: int,
                      images_per_request: int,
                      cpu_work_per_image: float = 1.2e8,
-                     first_request_id: int = 0) -> InferenceJob:
+                     first_request_id: int = 0,
+                     sparsity: float = 0.0) -> InferenceJob:
     """Serving-layer job: ``n_requests`` coalesced same-model requests,
     each contributing one batch of ``images_per_request`` images.
 
     The fleet scheduler (:mod:`repro.serving`) batches queued requests
-    sharing a ``(model, images)`` key into one of these; every request
-    in the job completes when the job does.
+    sharing a ``(model, images, sparsity)`` key into one of these;
+    every request in the job completes when the job does.
     """
     if n_requests < 1:
         raise ValueError("a request job needs at least one request")
@@ -76,6 +77,7 @@ def make_request_job(graph: Graph, n_requests: int,
         n_batches=n_requests,
         cpu_work_per_image=cpu_work_per_image,
         name=f"{graph.name}/req{first_request_id}x{n_requests}",
+        sparsity=sparsity,
     )
 
 

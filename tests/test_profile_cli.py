@@ -1,0 +1,97 @@
+"""``powerlens profile``: dataset-cache paths from the command line.
+
+The profile command reuses the dataset cache shared with the
+table/figure commands.  Covered here (following the ``serve-sim`` CLI
+suite's in-process ``cli.main`` idiom):
+
+* **cache miss → hit** — a cold cache generates fresh and stores the
+  entry; the immediate re-run reports ``dataset cache`` and prints the
+  same stage breakdown;
+* **missing cache dir** — a nested, nonexistent ``--cache-dir`` is
+  created on demand instead of crashing;
+* **corrupt cache dir** — a bit-flipped payload is detected by the
+  checksum pass, evicted, and regenerated cleanly (miss, then hit
+  again);
+* **--no-cache** — opting out never touches the directory.
+"""
+
+import pytest
+
+import repro.cli as cli
+
+pytestmark = pytest.mark.family
+
+_ARGS = ["profile", "--platform", "tx2", "--networks", "2"]
+
+
+def _run(cache_dir, capsys, extra=()):
+    args = list(_ARGS) + list(extra)
+    if cache_dir is not None:
+        args += ["--cache-dir", str(cache_dir)]
+    rc = cli.main(args)
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "labeling stage profile" in out
+    return out
+
+
+def _entry_files(cache_dir):
+    return sorted(p.name for p in cache_dir.iterdir()
+                  if p.suffix in (".json", ".npz"))
+
+
+def test_profile_cache_miss_then_hit(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    cold = _run(cache, capsys)
+    assert "fresh generation" in cold
+    entries = _entry_files(cache)
+    # One entry: manifest + two npz payloads.
+    assert len(entries) == 3
+    warm = _run(cache, capsys)
+    assert "dataset cache" in warm
+    assert "fresh generation" not in warm
+    # The warm read must not rewrite or grow the entry set.
+    assert _entry_files(cache) == entries
+    # Stage names are stable across the hit (same stored telemetry).
+    assert "distance" in warm and "total" in warm
+
+
+def test_profile_missing_cache_dir_is_created(tmp_path, capsys):
+    cache = tmp_path / "does" / "not" / "exist" / "yet"
+    assert not cache.exists()
+    out = _run(cache, capsys)
+    assert "fresh generation" in out
+    assert cache.is_dir()
+    assert len(_entry_files(cache)) == 3
+
+
+def test_profile_corrupt_cache_recovers(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _run(cache, capsys)
+    payload = next(p for p in cache.iterdir()
+                   if p.name.endswith(".a.npz"))
+    payload.write_bytes(b"not an npz payload")
+    out = _run(cache, capsys)
+    # Checksum mismatch => miss; the damaged entry is evicted and the
+    # command falls back to fresh generation without raising.
+    assert "fresh generation" in out
+    assert len(_entry_files(cache)) == 3
+    assert "dataset cache" in _run(cache, capsys)
+
+
+def test_profile_truncated_manifest_recovers(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _run(cache, capsys)
+    manifest = next(p for p in cache.iterdir()
+                    if p.suffix == ".json")
+    manifest.write_text(manifest.read_text()[:10])
+    out = _run(cache, capsys)
+    assert "fresh generation" in out
+    assert "dataset cache" in _run(cache, capsys)
+
+
+def test_profile_no_cache_never_writes(tmp_path, capsys):
+    cache = tmp_path / "untouched"
+    out = _run(cache, capsys, extra=["--no-cache"])
+    assert "fresh generation" in out
+    assert not cache.exists()
