@@ -170,6 +170,61 @@ def test_serving_prewarm_scaling(benchmark):
     })
 
 
+@pytest.mark.benchmark(group="serving")
+def test_request_trace_overhead(benchmark):
+    """Full-rate request tracing + burn monitoring on the scheduler
+    loop: byte-identical output, recorded relative wall-clock cost."""
+    from repro.obs.burnrate import BurnRateConfig, BurnRateMonitor
+    from repro.serving import RequestTracer
+
+    def run(traced: bool):
+        fleet = Fleet.build([DeviceConfig("tx2-0", "tx2"),
+                             DeviceConfig("agx-1", "agx")],
+                            governor="powerlens", fleet_seed=_SEED)
+        fleet.add_graph(build_small_cnn(_MODEL))
+        trace = make_trace("poisson", rate_rps=SERVE_RATE,
+                           duration_s=SERVE_DURATION, models=[_MODEL],
+                           seed=_SEED, slo_latency_s=1.0)
+        scheduler = FleetScheduler(
+            fleet, SchedulerConfig(policy="slo"),
+            request_tracer=RequestTracer() if traced else None,
+            burn_monitor=(BurnRateMonitor(BurnRateConfig(
+                fast_window_s=0.5, slow_window_s=2.0))
+                if traced else None))
+        t0 = time.perf_counter()
+        result = scheduler.run(trace)
+        return result, time.perf_counter() - t0
+
+    plain, plain_s = run(False)
+    traced, traced_s = benchmark.pedantic(
+        lambda: run(True), rounds=1, iterations=1)
+
+    # The observe-only contract, re-checked at bench scale.
+    assert plain.event_log() == traced.event_log()
+    assert plain.report.to_dict() == traced.report.to_dict()
+    assert traced.request_tracer.sampled_count == traced.report.arrived
+
+    overhead = traced_s / plain_s if plain_s > 0 else 1.0
+    print()
+    print(f"  request tracing: plain {plain_s:.2f}s, "
+          f"traced {traced_s:.2f}s ({overhead:.2f}x, "
+          f"{traced.request_tracer.sampled_count} requests sampled)")
+    _record("request_trace_overhead", {
+        "rate_rps": SERVE_RATE,
+        "duration_s": SERVE_DURATION,
+        # deterministic (tight bench-diff tolerance)
+        "requests_sampled": traced.request_tracer.sampled_count,
+        "completed": traced.report.completed,
+        # wall-clock (loose tolerance)
+        "plain_wall_s": round(plain_s, 3),
+        "traced_wall_s": round(traced_s, 3),
+        "overhead_x": round(overhead, 2),
+    })
+    # Tracing every request should stay a modest fraction of the loop.
+    assert overhead < 3.0, (
+        f"request tracing overhead blew up: {overhead:.2f}x")
+
+
 class _GenericStatic(StaticGovernor):
     """StaticGovernor without the fast-path marker: forces the retained
     per-segment reference loop for the comparison baseline."""

@@ -257,6 +257,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--event-log", metavar="PATH", default=None,
                    help="write the canonical JSONL event log "
                         "(byte-identical across repeated runs)")
+    p.add_argument("--request-trace", metavar="PATH", default=None,
+                   help="write sampled per-request span trees as JSONL "
+                        "(admit/queued/batched/dispatched; replay with "
+                        "'powerlens trace PATH'); observe-only — the "
+                        "event log stays byte-identical")
+    p.add_argument("--trace-sample", metavar="RATE", type=float,
+                   default=1.0,
+                   help="head-sampling rate in [0,1] for "
+                        "--request-trace (seeded per request id; SLO "
+                        "violations and drops are always kept; "
+                        "default: 1.0)")
+    p.add_argument("--timeline", metavar="PATH", default=None,
+                   help="write a Chrome/Perfetto trace_event JSON "
+                        "timeline of the run (devices, queue depth, "
+                        "sampled requests; open at chrome://tracing "
+                        "or ui.perfetto.dev)")
+    p.add_argument("--burn-slo", metavar="OBJECTIVE", type=float,
+                   default=None,
+                   help="enable the SLO burn-rate monitor with this "
+                        "availability objective, e.g. 0.99 "
+                        "(multi-window error-budget burn alerts; "
+                        "observe-only)")
+    p.add_argument("--burn-fast", metavar="SECONDS", type=float,
+                   default=None,
+                   help="fast burn window in virtual seconds "
+                        "(default: duration/4)")
+    p.add_argument("--burn-slow", metavar="SECONDS", type=float,
+                   default=None,
+                   help="slow burn window in virtual seconds "
+                        "(default: duration)")
+    p.add_argument("--burn-threshold", type=float, default=4.0,
+                   help="burn-rate alert threshold; both windows must "
+                        "exceed it (default: 4.0)")
     p.add_argument("--json", action="store_true",
                    help="emit the SLO report as JSON instead of a "
                         "table")
@@ -266,6 +299,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="trace file (JSON Lines)")
     p.add_argument("--depth", type=int, default=4,
                    help="span-tree depth to render (default: 4)")
+
+    p = sub.add_parser("timeline",
+                       help="analyze a serving event log (serve-sim "
+                            "--event-log): critical-path breakdown, "
+                            "per-device occupancy, top-k slowest "
+                            "requests, optional Chrome trace export")
+    p.add_argument("file", help="serving event log (JSON Lines)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the Chrome/Perfetto trace_event "
+                        "JSON to PATH")
+    p.add_argument("--top", type=int, default=10,
+                   help="slowest requests to list (default: 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the breakdown as JSON instead of a "
+                        "table")
 
     p = sub.add_parser("bench-diff",
                        help="compare two BENCH_*.json benchmark files "
@@ -312,7 +360,74 @@ def _cmd_trace(args) -> int:
         print(f"powerlens trace: cannot read {args.file}: "
               f"{exc.strerror or exc}", file=sys.stderr)
         return 1
+    if not trace.spans and trace.malformed_lines:
+        # A serving event log has no span records at all — every line
+        # counts as "malformed" here.  Recognize the shape and point at
+        # the right tool instead of printing an empty summary.
+        from repro.obs.timeline import (looks_like_event_log,
+                                        read_event_log,
+                                        summarize_serving_events)
+        events, _ = read_event_log(args.file)
+        if events and looks_like_event_log(events):
+            print(summarize_serving_events(events))
+            print(f"\nthis is a serving event log, not a span trace — "
+                  f"run 'powerlens timeline {args.file}' for the "
+                  f"critical-path breakdown and Chrome trace export.")
+            return 0
     print(summarize_trace(trace, max_depth=args.depth))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.obs.timeline import (ServingTimeline, read_event_log,
+                                    validate_chrome_trace)
+    try:
+        events, malformed = read_event_log(args.file)
+    except OSError as exc:
+        print(f"powerlens timeline: cannot read {args.file}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"powerlens timeline: {args.file} contains no serving "
+              f"events (expected a serve-sim --event-log file)",
+              file=sys.stderr)
+        return 1
+    if malformed:
+        print(f"warning: skipped {malformed} malformed line(s)",
+              file=sys.stderr)
+    timeline = ServingTimeline.from_events(events)
+    if args.out:
+        import json
+        from pathlib import Path
+        payload = timeline.to_chrome_trace()
+        validate_chrome_trace(payload)
+        Path(args.out).write_text(json.dumps(payload, sort_keys=True))
+        print(f"chrome trace written to {args.out} (open at "
+              f"chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.json:
+        import json
+        rows = timeline.critical_path_rows()
+        payload = {
+            "events": timeline.n_events,
+            "requests": len(timeline.requests),
+            "completed": len(rows),
+            "makespan_s": timeline.makespan_s,
+            "devices": {
+                name: {"jobs": len(track.jobs),
+                       "probes": len(track.probes),
+                       "busy_s": track.busy_s}
+                for name, track in sorted(timeline.devices.items())},
+            "slowest": [
+                {"request_id": r.request_id, "model": r.model,
+                 "device": r.device, "latency_s": r.latency_s,
+                 "queue_s": r.queue_s, "batch_s": r.batch_s,
+                 "service_s": r.service_s, "slo_ok": r.slo_ok}
+                for r in rows[:args.top]],
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(timeline.format_report(top_k=args.top))
     return 0
 
 
@@ -383,6 +498,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
 
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+
     if args.command == "bench-diff":
         return _cmd_bench_diff(args)
 
@@ -400,14 +518,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sinks = _start_sinks(obs, serve_port, flight_dir) if obs else []
     try:
-        return _dispatch(args, obs, trace_path, metrics_path)
+        return _dispatch(args, obs, trace_path, metrics_path,
+                         sinks=sinks)
     finally:
         for sink in reversed(sinks):
             sink.stop()
 
 
 def _cmd_serve_sim(args, obs, trace_path: Optional[str],
-                   metrics_path: Optional[str]) -> int:
+                   metrics_path: Optional[str],
+                   sinks: Optional[list] = None) -> int:
     import json as _json
 
     from repro.hw import FaultProfile
@@ -454,13 +574,75 @@ def _cmd_serve_sim(args, obs, trace_path: Optional[str],
                              max_batch=args.max_batch,
                              queue_capacity=args.queue_capacity,
                              recovery=recovery)
-    scheduler = FleetScheduler(fleet, config, obs=obs)
+
+    # Observe-only passengers: the request tracer (sampled span trees
+    # and the /requests SSE feed) and the burn-rate monitor.  Either
+    # way the event log / report stay byte-identical.
+    exporters = [s for s in (sinks or [])
+                 if hasattr(s, "request_log")]
+    tracer = None
+    if args.request_trace or args.timeline or exporters:
+        from repro.serving import RequestTracer, SamplingConfig
+        try:
+            sampling = SamplingConfig(head_rate=args.trace_sample,
+                                      seed=args.seed)
+        except ValueError as exc:
+            print(f"powerlens serve-sim: {exc}", file=sys.stderr)
+            return 2
+        tracer = RequestTracer(sampling)
+        for exporter in exporters:
+            exporter.request_log = tracer.completion_records
+    burn = None
+    if args.burn_slo is not None:
+        from repro.obs.burnrate import BurnRateConfig, BurnRateMonitor
+        fast = (args.burn_fast if args.burn_fast is not None
+                else max(args.duration / 4.0, 1e-3))
+        slow = (args.burn_slow if args.burn_slow is not None
+                else max(args.duration, fast))
+        try:
+            burn = BurnRateMonitor(BurnRateConfig(
+                objective=args.burn_slo, fast_window_s=fast,
+                slow_window_s=slow, threshold=args.burn_threshold))
+        except ValueError as exc:
+            print(f"powerlens serve-sim: {exc}", file=sys.stderr)
+            return 2
+
+    scheduler = FleetScheduler(fleet, config, obs=obs,
+                               request_tracer=tracer,
+                               burn_monitor=burn)
     result = scheduler.run(trace, n_jobs=args.jobs)
 
     if args.event_log:
         from pathlib import Path
         Path(args.event_log).write_text(result.event_log())
         print(f"event log written to {args.event_log}", file=sys.stderr)
+    if tracer is not None and args.request_trace:
+        tracer.export_jsonl(args.request_trace, burn=burn)
+        print(f"request trace written to {args.request_trace} "
+              f"({tracer.sampled_count}/{tracer.requests_seen} "
+              f"requests sampled)", file=sys.stderr)
+    if args.timeline:
+        from pathlib import Path
+
+        from repro.obs.timeline import ServingTimeline
+        timeline = ServingTimeline.from_events(result.events)
+        if burn is not None:
+            timeline.add_burn_spans(burn.span_rows())
+        sampled = ({t.request_id for t in tracer.traces()}
+                   if tracer is not None else None)
+        payload = timeline.to_chrome_trace(sampled_ids=sampled)
+        Path(args.timeline).write_text(
+            _json.dumps(payload, sort_keys=True))
+        print(f"timeline written to {args.timeline} (open at "
+              f"chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
+    if burn is not None:
+        digest = burn.summary()
+        print(f"slo burn: {digest['alerts']} alert(s), peak fast burn "
+              f"{digest['peak_fast_burn']:.2f}, peak slow burn "
+              f"{digest['peak_slow_burn']:.2f} "
+              f"(objective {digest['objective']:g}, threshold "
+              f"{digest['threshold']:g})", file=sys.stderr)
 
     if args.json:
         print(_json.dumps(result.report.to_dict(), indent=1,
@@ -599,9 +781,11 @@ def _cmd_profile(args, obs, trace_path: Optional[str],
 
 
 def _dispatch(args, obs, trace_path: Optional[str],
-              metrics_path: Optional[str]) -> int:
+              metrics_path: Optional[str],
+              sinks: Optional[list] = None) -> int:
     if args.command == "serve-sim":
-        return _cmd_serve_sim(args, obs, trace_path, metrics_path)
+        return _cmd_serve_sim(args, obs, trace_path, metrics_path,
+                              sinks=sinks)
     if args.command == "profile":
         return _cmd_profile(args, obs, trace_path, metrics_path)
     if args.command == "robustness" and (args.adaptive or args.family):

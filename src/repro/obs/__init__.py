@@ -48,6 +48,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     SWITCH_LATENCY_BUCKETS,
+    nearest_rank_index,
     parse_prometheus_text,
 )
 from repro.obs.replay import (
@@ -73,6 +74,8 @@ __all__ = [
     "summarize_trace",
     "EnergyLedger", "MetricsExporter", "FlightRecorder",
     "Anomaly", "AnomalyConfig", "AnomalyDetector",
+    "BurnRateConfig", "BurnRateMonitor", "BurnAlert",
+    "ServingTimeline", "validate_chrome_trace", "nearest_rank_index",
 ]
 
 #: Lazily-imported members (PEP 562).  ``ledger`` needs
@@ -91,6 +94,11 @@ _LAZY_SUBMODULE = {
     "Anomaly": "anomaly",
     "AnomalyConfig": "anomaly",
     "AnomalyDetector": "anomaly",
+    "BurnRateConfig": "burnrate",
+    "BurnRateMonitor": "burnrate",
+    "BurnAlert": "burnrate",
+    "ServingTimeline": "timeline",
+    "validate_chrome_trace": "timeline",
 }
 
 

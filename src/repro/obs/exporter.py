@@ -14,6 +14,10 @@ both strictly observe-only and off by default:
     * ``GET /spans`` — a ``text/event-stream`` (SSE) feed of finished
       spans as they are recorded, for ad-hoc live tailing with
       ``curl``;
+    * ``GET /requests`` — an SSE feed of sampled request-completion
+      records when a serving run attaches its
+      :class:`~repro.serving.request_trace.RequestTracer` (via
+      :attr:`MetricsExporter.request_log`); 404 otherwise;
     * ``GET /healthz`` — liveness probe.
 
 :class:`FlightRecorder`
@@ -105,6 +109,12 @@ class _ExporterHandler(BaseHTTPRequestHandler):
                 self._respond(200, "ok\n", "text/plain; charset=utf-8")
             elif path == "/spans":
                 self._stream_spans()
+            elif path == "/requests":
+                if self.exporter.request_log is None:
+                    self._respond(404, "no request log attached\n",
+                                  "text/plain; charset=utf-8")
+                else:
+                    self._stream_requests()
             else:
                 self._respond(404, "not found\n",
                               "text/plain; charset=utf-8")
@@ -142,6 +152,32 @@ class _ExporterHandler(BaseHTTPRequestHandler):
         # abrupt reset.
         self.wfile.write(b": exporter shutting down\n\n")
 
+    def _stream_requests(self) -> None:
+        """SSE feed of sampled request-completion records: replay the
+        buffered list, then tail it (same leak-free stop semantics as
+        ``/spans`` — the loop re-checks ``_stopping`` every poll)."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        exporter = self.exporter
+        cursor = 0
+        while not exporter._stopping.is_set():
+            log = exporter.request_log
+            if log is None:
+                break
+            records = _snapshot(lambda: list(log))
+            for record in records[cursor:]:
+                payload = json.dumps(record, sort_keys=True)
+                self.wfile.write(
+                    f"event: request\ndata: {payload}\n\n"
+                    .encode("utf-8"))
+            if len(records) > cursor:
+                self.wfile.flush()
+            cursor = len(records)
+            exporter._stopping.wait(SSE_POLL_S)
+        self.wfile.write(b": exporter shutting down\n\n")
+
 
 class MetricsExporter:
     """Opt-in HTTP endpoint over one observability bundle.
@@ -160,9 +196,15 @@ class MetricsExporter:
     """
 
     def __init__(self, obs: Observability, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 request_log: Optional[List[Dict[str, Any]]] = None
+                 ) -> None:
         self.obs = obs
         self.host = host
+        #: Append-only list of sampled request-completion records the
+        #: ``/requests`` SSE endpoint tails (a serving run attaches its
+        #: tracer's ``completion_records`` here; settable after start).
+        self.request_log = request_log
         self._requested_port = port
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None

@@ -29,14 +29,32 @@ merging histograms with different boundaries is an error, not a guess.
 from __future__ import annotations
 
 import json
+import math
 from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "NULL_METRICS", "DEFAULT_BUCKETS", "SWITCH_LATENCY_BUCKETS",
-    "parse_prometheus_text",
+    "nearest_rank_index", "parse_prometheus_text",
 ]
+
+
+def nearest_rank_index(n: int, q: float) -> int:
+    """0-based index of the nearest-rank ``q``-quantile among ``n``
+    sorted values: the rank-``max(1, ceil(q*n))`` order statistic.
+
+    This is the single ranking convention shared by the SLO report's
+    percentiles (``repro.serving.slo_report.nearest_rank``) and
+    :meth:`Histogram.quantile`, so p50/p90/p99 can never disagree
+    between the report and exported metrics (cross-checked in
+    ``tests/test_obs_metrics.py``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(1, math.ceil(q * n)) - 1
 
 #: Default histogram boundaries (seconds): latency-flavored log ladder.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -149,20 +167,21 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile from the fixed buckets.
 
-        Prometheus ``histogram_quantile`` semantics: find the bucket
-        the target rank falls in and interpolate linearly inside it.
-        The first finite bucket's lower edge is 0 (our histograms hold
-        non-negative durations/sizes); ranks landing in the +Inf bucket
-        are clamped to the last finite bound — the estimate is then a
-        lower bound, exactly as in Prometheus.  Returns ``0.0`` for an
-        empty histogram.
+        Uses the shared nearest-rank convention
+        (:func:`nearest_rank_index`): find the bucket holding the
+        rank-``max(1, ceil(q*n))`` observation and interpolate linearly
+        inside it.  The first finite bucket's lower edge is 0 (our
+        histograms hold non-negative durations/sizes); ranks landing in
+        the +Inf bucket are clamped to the last finite bound — the
+        estimate is then a lower bound, exactly as in Prometheus.
+        Returns ``0.0`` for an empty histogram and for ``q == 0``.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         total = self.count
-        if total == 0:
+        if total == 0 or q == 0.0:
             return 0.0
-        rank = q * total
+        rank = nearest_rank_index(total, q) + 1
         running = 0
         for i, c in enumerate(self.counts[:-1]):
             prev = running
@@ -170,7 +189,7 @@ class Histogram:
             if running >= rank:
                 lower = self.bounds[i - 1] if i > 0 else 0.0
                 upper = self.bounds[i]
-                if c == 0:  # rank == prev boundary exactly
+                if c == 0:  # unreachable with integer ranks; keep safe
                     return lower
                 frac = (rank - prev) / c
                 return lower + (upper - lower) * min(max(frac, 0.0), 1.0)

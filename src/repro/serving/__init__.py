@@ -56,6 +56,12 @@ from repro.serving.queueing import (
     QueuePolicy,
     make_policy,
 )
+from repro.serving.request_trace import (
+    RequestTrace,
+    RequestTracer,
+    SamplingConfig,
+    head_sample_keep,
+)
 from repro.serving.scheduler import (
     FleetScheduler,
     SchedulerConfig,
@@ -80,5 +86,7 @@ __all__ = [
     "POLICY_REGISTRY", "QueuePolicy", "make_policy",
     "FleetScheduler", "SchedulerConfig", "ServingResult",
     "canonical_event_line",
+    "RequestTrace", "RequestTracer", "SamplingConfig",
+    "head_sample_keep",
     "DeviceSummary", "RequestOutcome", "SLOReport", "nearest_rank",
 ]

@@ -229,6 +229,9 @@ class DispatchRecord:
     switch_count: int
     new_anomalies: int
     replan_action: str = ""        # adaptive governor's observe verdict
+    plan_fingerprint: str = ""     # executed plan-family member ("" =
+                                   # registry governor, no preset plan)
+    sparsity_bucket: float = 0.0   # bucket the plan was selected for
 
 
 class SimulatedDevice:
@@ -459,12 +462,14 @@ class SimulatedDevice:
         sbucket = self.sparsity_bucket(job.sparsity)
         overlay_key = (job.graph.fingerprint(), int(job.batch_size),
                        sbucket)
+        executed_plan = None
         if isinstance(self._governor, PresetGovernor):
             plan = self._plan_overlay.get(overlay_key)
             if plan is None:
                 plan = self.plan_for(job.graph, job.batch_size,
                                      sbucket)
             self._governor.add_plan(plan)
+            executed_plan = plan
         sim = InferenceSimulator(
             self.platform,
             sample_period=self.config.sample_period,
@@ -511,6 +516,9 @@ class SimulatedDevice:
             switch_count=result.switch_count,
             new_anomalies=new_anomalies,
             replan_action=replan_action,
+            plan_fingerprint=(executed_plan.fingerprint()
+                              if executed_plan is not None else ""),
+            sparsity_bucket=sbucket,
         )
         self.jobs_done += 1
         self.busy_time_s += record.duration_s

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.simulator import InferenceJob
 from repro.obs import Observability, NULL_OBS
+from repro.obs.burnrate import BurnRateMonitor
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
 from repro.serving.arrivals import ArrivalTrace, Request
 from repro.serving.fleet import (
@@ -60,6 +61,7 @@ from repro.serving.fleet import (
     SimulatedDevice,
 )
 from repro.serving.queueing import QueuePolicy, make_policy
+from repro.serving.request_trace import RequestTracer
 from repro.serving.slo_report import (
     DeviceSummary,
     RequestOutcome,
@@ -120,6 +122,10 @@ class ServingResult:
     outcomes: List[RequestOutcome]
     metrics: MetricsRegistry
     dispatches: List[DispatchRecord] = field(default_factory=list)
+    #: The observe-only passengers of the run, when enabled (their
+    #: sampled traces / alert episodes are read off these objects).
+    request_tracer: Optional[RequestTracer] = None
+    burn_monitor: Optional[BurnRateMonitor] = None
 
     def event_log(self) -> str:
         """Canonical JSONL event log (byte-identical across runs)."""
@@ -132,11 +138,20 @@ class FleetScheduler:
 
     def __init__(self, fleet: Fleet,
                  config: Optional[SchedulerConfig] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 request_tracer: Optional[RequestTracer] = None,
+                 burn_monitor: Optional[BurnRateMonitor] = None) -> None:
         self.fleet = fleet
         self.config = config or SchedulerConfig()
         self.policy: QueuePolicy = make_policy(self.config.policy)
         self.obs = obs if obs is not None else NULL_OBS
+        # Strictly observe-only passengers: every hook below consumes
+        # values the loop already computed (virtual times included) and
+        # never touches an RNG, so enabling them keeps the event log,
+        # SLO report and ledger totals byte-identical (property-tested
+        # in tests/test_serving_request_trace.py).
+        self.request_tracer = request_tracer
+        self.burn_monitor = burn_monitor
 
     # ------------------------------------------------------------------
     def run(self, trace: ArrivalTrace, n_jobs: int = 1) -> ServingResult:
@@ -192,6 +207,14 @@ class FleetScheduler:
             events.append(record)
             event_seq += 1
 
+        tracer = self.request_tracer
+        burn = self.burn_monitor
+
+        def note_health(t: float) -> None:
+            if tracer is not None:
+                tracer.note_fleet_health(
+                    t, sum(1 for d in fleet.devices if not d.drained))
+
         # (t, priority, tiebreak_seq, kind, payload)
         heap: List[Tuple[float, int, int, str, object]] = []
         for i, request in enumerate(trace.requests):
@@ -205,6 +228,10 @@ class FleetScheduler:
         # batch 1 — a fixed, deterministic choice.
         probe_graph = (fleet.graph_for(sorted(trace.models)[0])
                        if trace.requests else None)
+        if tracer is not None:
+            tracer.begin_run(
+                self.policy.name,
+                sum(1 for d in fleet.devices if not d.drained))
 
         def drop(t: float, request: Request, reason: str,
                  cause: Optional[str] = None) -> None:
@@ -216,6 +243,10 @@ class FleetScheduler:
             if cause is not None:
                 fields["cause"] = cause
             emit(t, "drop", **fields)
+            if tracer is not None:
+                tracer.on_drop(t, request, reason, cause)
+            if burn is not None:
+                burn.observe(t, False)
 
         def work_remains() -> bool:
             return bool(queue) or arrivals_pending > 0
@@ -328,6 +359,9 @@ class FleetScheduler:
                      n_requests=len(batch),
                      request_ids=[r.request_id for r in batch],
                      predicted_done=t_done, **sparse_fields)
+                if tracer is not None:
+                    tracer.on_dispatch(t, batch, device, record,
+                                       dispatch_seq)
                 heapq.heappush(heap, (t_done, _PRIO_COMPLETE, heap_seq,
                                       "complete",
                                       (device, batch, record, t)))
@@ -348,6 +382,8 @@ class FleetScheduler:
                     m_admitted.inc()
                     emit(t, "admit", request_id=request.request_id,
                          model=request.model, images=request.images)
+                    if tracer is not None:
+                        tracer.on_admit(t, request)
                     purge_if_dead(t)
             elif kind == "probe":
                 device = payload
@@ -391,6 +427,7 @@ class FleetScheduler:
                     m_readmits.inc()
                     emit(t, "readmit", device=device.name,
                          probation_jobs=recovery.probation_jobs)
+                    note_health(t)
             else:  # complete
                 device, batch, record, t_dispatch = payload
                 device.busy = False
@@ -417,6 +454,10 @@ class FleetScheduler:
                          latency=outcome.latency_s,
                          energy=share,
                          slo_ok=outcome.slo_ok)
+                    if tracer is not None:
+                        tracer.on_complete(t, outcome)
+                    if burn is not None:
+                        burn.observe(t, outcome.slo_ok)
                 if recovery is not None \
                         and device.recovery_state == "probation":
                     if record.new_anomalies > 0:
@@ -428,6 +469,7 @@ class FleetScheduler:
                         m_drains.inc()
                         emit(t, "redrain", device=device.name,
                              anomalies=device.anomaly_count)
+                        note_health(t)
                         schedule_probe(t, device)
                         purge_if_dead(t)
                     else:
@@ -441,6 +483,7 @@ class FleetScheduler:
                     m_drains.inc()
                     emit(t, "drain", device=device.name,
                          anomalies=device.anomaly_count)
+                    note_health(t)
                     schedule_probe(t, device)
                     purge_if_dead(t)
             try_dispatch(t)
@@ -454,16 +497,25 @@ class FleetScheduler:
         queue.clear()
         for device in fleet.devices:
             device.finalize_drain_accounting(t_end)
+        if tracer is not None:
+            tracer.finalize(t_end)
+        if burn is not None:
+            burn.finalize(t_end)
 
         report = self._build_report(trace, outcomes, drops, makespan)
         fleet_metrics = self.fleet.merged_metrics()
         fleet_metrics.merge(metrics)
         self._record_summary_metrics(fleet_metrics, report)
+        if tracer is not None:
+            fleet_metrics.merge(tracer.metrics())
+        if burn is not None:
+            fleet_metrics.merge(burn.metrics())
         if self.obs.metrics.enabled:
             self.obs.metrics.merge(fleet_metrics)
         return ServingResult(report=report, events=events,
                              outcomes=outcomes, metrics=fleet_metrics,
-                             dispatches=dispatches)
+                             dispatches=dispatches,
+                             request_tracer=tracer, burn_monitor=burn)
 
     # ------------------------------------------------------------------
     def _build_report(self, trace: ArrivalTrace,

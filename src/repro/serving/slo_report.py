@@ -24,20 +24,25 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.obs.ledger import RECONCILIATION_TOLERANCE
+from repro.obs.metrics import nearest_rank_index
 
 __all__ = ["RequestOutcome", "DeviceSummary", "SLOReport",
            "nearest_rank"]
 
 
 def nearest_rank(values: Sequence[float], q: float) -> float:
-    """Nearest-rank ``q``-quantile of ``values`` (0 for an empty set)."""
+    """Nearest-rank ``q``-quantile of ``values`` (0 for an empty set).
+
+    Ranking delegates to the shared
+    :func:`repro.obs.metrics.nearest_rank_index` so the SLO report and
+    the metrics histograms can never disagree on p50/p90/p99.
+    """
     if not 0.0 <= q <= 1.0:
         raise ValueError("q must be in [0, 1]")
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
+    return ordered[nearest_rank_index(len(ordered), q)]
 
 
 @dataclass(frozen=True)

@@ -210,3 +210,161 @@ class TestFlightRecorder:
         leaked = [t for t in set(threading.enumerate()) - before
                   if t.is_alive()]
         assert leaked == []
+
+
+class TestRequestsEndpoint:
+    """The ``/requests`` SSE feed of sampled request completions."""
+
+    def _read_sse(self, port: int, path: str = "/requests",
+                  until: bytes = b"\n\n") -> str:
+        conn = socket.create_connection(("127.0.0.1", port),
+                                        timeout=5.0)
+        try:
+            conn.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+            conn.settimeout(5.0)
+            data = b""
+            while not (until in data and data.endswith(b"\n\n")):
+                chunk = conn.recv(4096)
+                if not chunk:
+                    break
+                data = data + chunk
+        finally:
+            conn.close()
+        return data.decode("utf-8")
+
+    def test_404_when_no_request_log_attached(self):
+        with MetricsExporter(_bundle()) as exporter:
+            assert exporter.request_log is None
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(exporter.url + "requests")
+            assert err.value.code == 404
+            err.value.close()
+
+    def test_streams_attached_completion_records(self):
+        records = [
+            {"type": "request", "request_id": 0,
+             "outcome": "completed", "latency_s": 0.25},
+            {"type": "request", "request_id": 1,
+             "outcome": "expired", "latency_s": 0.5},
+        ]
+        with MetricsExporter(_bundle(),
+                             request_log=records) as exporter:
+            text = self._read_sse(exporter.port,
+                                  until=b'"request_id": 1')
+            assert "Content-Type: text/event-stream" in text
+            assert "event: request" in text
+            payloads = [json.loads(line[len("data: "):])
+                        for line in text.splitlines()
+                        if line.startswith("data: ")]
+            assert [p["request_id"] for p in payloads[:2]] == [0, 1]
+            assert payloads[1]["outcome"] == "expired"
+
+    def test_serving_run_feeds_live_endpoint(self):
+        """End to end: a traced serving run's completion records are
+        served after the run (the CLI attaches the same list before
+        the run starts, so mid-run records stream live)."""
+        from repro.serving import (DeviceConfig, Fleet, FleetScheduler,
+                                   RequestTracer, SchedulerConfig,
+                                   make_trace)
+        from tests.conftest import build_small_cnn
+
+        fleet = Fleet.build([DeviceConfig("tx2-0", "tx2")],
+                            governor="powerlens", fleet_seed=7)
+        fleet.add_graph(build_small_cnn("small_cnn"))
+        tracer = RequestTracer()
+        with MetricsExporter(
+                _bundle(),
+                request_log=tracer.completion_records) as exporter:
+            trace = make_trace("poisson", rate_rps=20, duration_s=0.3,
+                               models=["small_cnn"], seed=7)
+            result = FleetScheduler(
+                fleet, SchedulerConfig(policy="fifo"),
+                request_tracer=tracer).run(trace)
+            assert result.report.completed > 0
+            last_id = tracer.completion_records[-1]["request_id"]
+            text = self._read_sse(
+                exporter.port,
+                until=f'"request_id": {last_id}'.encode())
+            payloads = [json.loads(line[len("data: "):])
+                        for line in text.splitlines()
+                        if line.startswith("data: ")]
+            assert len(payloads) == len(tracer.completion_records)
+            assert all(p["type"] == "request" for p in payloads)
+
+    def test_stop_unblocks_stream_and_leaks_nothing(self):
+        before = set(threading.enumerate())
+        exporter = MetricsExporter(_bundle(), request_log=[]).start()
+        conn = socket.create_connection(("127.0.0.1", exporter.port),
+                                        timeout=5.0)
+        conn.sendall(b"GET /requests HTTP/1.0\r\n\r\n")
+        conn.settimeout(5.0)
+        time.sleep(0.05)       # let the handler enter its poll loop
+        exporter.stop()
+        data = b""
+        while True:
+            try:
+                chunk = conn.recv(4096)
+            except OSError:
+                break
+            if not chunk:
+                break
+            data = data + chunk
+        conn.close()
+        assert b"exporter shutting down" in data
+        leaked = [t for t in set(threading.enumerate()) - before
+                  if t.is_alive()]
+        assert leaked == []
+
+    def test_port_reuse_after_stop(self):
+        """Regression: a fresh exporter can rebind the port an earlier
+        one just released (no TIME_WAIT bind failure)."""
+        first = MetricsExporter(_bundle()).start()
+        port = first.port
+        _get(first.url + "healthz")
+        first.stop()
+        second = MetricsExporter(_bundle(), port=port).start()
+        try:
+            assert second.port == port
+            status, _, body = _get(second.url + "healthz")
+            assert (status, body) == (200, "ok\n")
+        finally:
+            second.stop()
+
+
+class TestFlightRecorderExceptionPath:
+    """Satellite: the final snapshot survives a crashing run."""
+
+    _ARGS = ["serve-sim", "--devices", "tx2", "--rate", "10",
+             "--duration", "0.2", "--seed", "3", "--models", "alexnet"]
+
+    def test_final_snapshot_written_when_serve_sim_raises(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.serving.scheduler import FleetScheduler
+
+        def boom(self, trace, n_jobs=1):
+            raise RuntimeError("mid-flight crash")
+
+        monkeypatch.setattr(FleetScheduler, "run", boom)
+        flight_dir = tmp_path / "fr"
+        with pytest.raises(RuntimeError, match="mid-flight crash"):
+            cli.main(self._ARGS
+                     + ["--flight-recorder", str(flight_dir)])
+        capsys.readouterr()
+        files = sorted(flight_dir.glob("flight-*.json"))
+        assert files, "no snapshot despite the crash"
+        last = json.loads(files[-1].read_text())
+        assert last["final"] is True
+        assert last["format"] == "powerlens-flight"
+
+    def test_write_failure_disarm_never_masks_the_crash(self, tmp_path):
+        recorder = FlightRecorder(_bundle(), tmp_path / "fr",
+                                  interval_s=60.0)
+        recorder.start()
+        recorder.directory = tmp_path / "gone" / "deeper"
+        with pytest.raises(RuntimeError, match="original failure"):
+            try:
+                raise RuntimeError("original failure")
+            finally:
+                recorder.stop()   # write fails -> disarms, no raise
+        assert recorder.failed is True

@@ -210,3 +210,77 @@ class TestRegistryBasics:
         assert len(NULL_METRICS) == 0
         with pytest.raises(ValueError):
             NULL_METRICS.merge(MetricsRegistry())
+
+
+class TestNearestRankSharing:
+    """One nearest-rank definition serves both the exact SLO-report
+    percentiles and the bucketed histogram estimate (satellite:
+    percentile-logic dedupe)."""
+
+    def test_index_matches_textbook_nearest_rank(self):
+        from repro.obs.metrics import nearest_rank_index
+        # rank = ceil(q * n), 1-based; the helper is the 0-based index.
+        assert nearest_rank_index(100, 0.5) == 49
+        assert nearest_rank_index(100, 0.9) == 89
+        assert nearest_rank_index(100, 0.99) == 98
+        assert nearest_rank_index(100, 1.0) == 99
+        assert nearest_rank_index(1, 0.0) == 0
+        assert nearest_rank_index(5, 0.0001) == 0
+
+    def test_index_validation(self):
+        from repro.obs.metrics import nearest_rank_index
+        with pytest.raises(ValueError):
+            nearest_rank_index(10, 1.5)
+        with pytest.raises(ValueError):
+            nearest_rank_index(10, -0.1)
+        with pytest.raises(ValueError):
+            nearest_rank_index(0, 0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200),
+        q=st.floats(min_value=0.01, max_value=1.0))
+    def test_slo_report_rank_is_a_real_observation(self, values, q):
+        from repro.serving.slo_report import nearest_rank
+        result = nearest_rank(values, q)
+        assert result in values
+        # At least ceil(q*n) observations are <= the reported rank.
+        import math as _math
+        ordered = sorted(values)
+        rank = max(1, _math.ceil(q * len(values)))
+        assert sum(v <= result for v in values) >= rank
+        assert result == ordered[rank - 1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.sampled_from([1.0, 2.0, 3.0, 4.0]),
+                           min_size=1, max_size=100),
+           q=st.floats(min_value=0.01, max_value=1.0))
+    def test_histogram_picks_the_exact_ranks_bucket(self, values, q):
+        """Both sides share one rank convention, so when every
+        observation sits exactly on a bucket upper bound the bucketed
+        estimate lands inside the bucket whose upper bound *is* the
+        exact nearest-rank percentile."""
+        from repro.serving.slo_report import nearest_rank
+        bounds = (1.0, 2.0, 3.0, 4.0)
+        hist = Histogram("h", buckets=bounds)
+        for v in values:
+            hist.observe(v)
+        exact = nearest_rank(values, q)
+        estimate = hist.quantile(q)
+        lower = {1.0: 0.0, 2.0: 1.0, 3.0: 2.0, 4.0: 3.0}[exact]
+        assert lower < estimate <= exact
+
+    @pytest.mark.parametrize("q", [0.01, 0.25, 0.5, 0.75, 0.9, 1.0])
+    def test_histogram_exact_when_one_observation_per_bucket(self, q):
+        """With exactly one observation per bucket the in-bucket
+        interpolation is trivial and the two implementations agree to
+        the digit."""
+        from repro.serving.slo_report import nearest_rank
+        values = [1.0, 2.0, 3.0, 4.0]
+        hist = Histogram("h", buckets=(1.0, 2.0, 3.0, 4.0))
+        for v in values:
+            hist.observe(v)
+        assert hist.quantile(q) == pytest.approx(
+            nearest_rank(values, q))
